@@ -1,0 +1,73 @@
+//! E10 bench (Lemmas 2.3–2.6, Fig. 5): throughput of the geometric lemma
+//! checkers and the hexagon assignment kernel. Table rows:
+//! `report -- e10`.
+
+use adhoc_geom::lemmas::{lemma_2_3, lemma_2_3_c_min, lemma_2_4, lemma_2_5, lemma_2_6};
+use adhoc_geom::{HexGrid, Point};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e10_geometry");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+
+    g.bench_function("lemma_2_3_check", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(59);
+        b.iter(|| {
+            let gamma: f64 = rng.gen_range(0.001..1.0);
+            let a = Point::new(1.0, 0.0);
+            let bb = Point::new(2.0 * gamma.cos(), 2.0 * gamma.sin());
+            black_box(lemma_2_3(a, bb, Point::new(0.0, 0.0), lemma_2_3_c_min(gamma) * 1.5))
+        });
+    });
+
+    g.bench_function("lemma_2_4_check", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(61);
+        b.iter(|| {
+            let alpha: f64 = rng.gen_range(0.001..0.5);
+            let a = Point::new(0.0, 0.0);
+            let bb = Point::new(2.0, 0.0);
+            let cc = Point::new(1.8 * alpha.cos(), 1.8 * alpha.sin());
+            black_box(lemma_2_4(a, bb, cc))
+        });
+    });
+
+    g.bench_function("lemma_2_5_check_chain8", |b| {
+        let chain: Vec<Point> = (0..8)
+            .map(|i| {
+                let r = 0.9f64.powi(i);
+                let ang = i as f64 * 0.05;
+                Point::new(r * ang.cos(), r * ang.sin())
+            })
+            .collect();
+        b.iter(|| black_box(lemma_2_5(Point::new(0.0, 0.0), &chain, 0.3)));
+    });
+
+    g.bench_function("lemma_2_6_check", |b| {
+        let a = Point::new(0.0, 0.0);
+        let bb = Point::new(2.0, 0.0);
+        let cc = Point::new(1.99 * 0.15f64.cos(), 1.99 * 0.15f64.sin());
+        b.iter(|| black_box(lemma_2_6(a, bb, cc)));
+    });
+
+    g.bench_function("hex_assignment", |b| {
+        let grid = HexGrid::for_guard_zone(0.5);
+        let mut rng = ChaCha8Rng::seed_from_u64(67);
+        b.iter(|| {
+            let p = Point::new(rng.gen_range(-100.0..100.0), rng.gen_range(-100.0..100.0));
+            black_box(grid.hex_of(p))
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench
+}
+criterion_main!(benches);

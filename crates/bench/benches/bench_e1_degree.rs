@@ -1,0 +1,50 @@
+//! E1 bench (Lemma 2.1): ΘALG construction + degree/connectivity
+//! verification, swept over n and θ. Regenerates the E1 table rows via
+//! `cargo run -p adhoc-sim --bin report -- e1`; this bench times the
+//! kernels.
+
+use adhoc_bench::uniform_points;
+use adhoc_core::{verify_lemma_2_1, ThetaAlg};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::f64::consts::PI;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_degree");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.sample_size(10);
+    for n in [100usize, 400, 1600] {
+        let points = uniform_points(n, 1);
+        let range = adhoc_geom::default_max_range(n);
+        g.bench_with_input(BenchmarkId::new("theta_build", n), &n, |b, _| {
+            let alg = ThetaAlg::new(PI / 3.0, range);
+            b.iter(|| black_box(alg.build(&points)));
+        });
+        let topo = ThetaAlg::new(PI / 3.0, range).build(&points);
+        g.bench_with_input(BenchmarkId::new("verify_lemma_2_1", n), &n, |b, _| {
+            b.iter(|| {
+                let rep = verify_lemma_2_1(black_box(&topo));
+                assert!(rep.holds());
+                black_box(rep)
+            });
+        });
+    }
+    // θ sweep at fixed n: smaller θ ⇒ more sectors.
+    let points = uniform_points(400, 2);
+    let range = adhoc_geom::default_max_range(400);
+    for (label, theta) in [("pi_3", PI / 3.0), ("pi_6", PI / 6.0), ("pi_9", PI / 9.0)] {
+        g.bench_function(BenchmarkId::new("theta_build_angle", label), |b| {
+            let alg = ThetaAlg::new(theta, range);
+            b.iter(|| black_box(alg.build(&points)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench
+}
+criterion_main!(benches);

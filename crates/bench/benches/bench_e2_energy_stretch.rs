@@ -1,0 +1,65 @@
+//! E2 bench (Theorem 2.2): energy-stretch computation of 𝒩 vs G*,
+//! exact (rayon all-pairs) and sampled, plus the Gabriel baseline
+//! construction. Table rows: `report -- e2`.
+
+use adhoc_bench::uniform_points;
+use adhoc_core::stretch::{sampled_energy_stretch};
+use adhoc_core::{energy_stretch, ThetaAlg};
+use adhoc_proximity::{gabriel_graph, unit_disk_graph};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::f64::consts::PI;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_energy_stretch");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.sample_size(10);
+    for n in [100usize, 300] {
+        let points = uniform_points(n, 3);
+        let range = adhoc_geom::default_max_range(n);
+        let gstar = unit_disk_graph(&points, range);
+        let topo = ThetaAlg::new(PI / 3.0, range).build(&points);
+        g.bench_with_input(BenchmarkId::new("exact_all_pairs", n), &n, |b, _| {
+            b.iter(|| black_box(energy_stretch(&topo.spatial, &gstar, 2.0)));
+        });
+        let sources: Vec<u32> = (0..n as u32).step_by(8).collect();
+        g.bench_with_input(BenchmarkId::new("sampled", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(sampled_energy_stretch(
+                    &topo.spatial,
+                    &gstar,
+                    2.0,
+                    &sources,
+                ))
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("gabriel_baseline", n), &n, |b, _| {
+            b.iter(|| black_box(gabriel_graph(&points, range)));
+        });
+        // κ sweep
+        for kappa in [2.0f64, 4.0] {
+            g.bench_function(
+                BenchmarkId::new(format!("sampled_kappa_{kappa}"), n),
+                |b| {
+                    b.iter(|| {
+                        black_box(sampled_energy_stretch(
+                            &topo.spatial,
+                            &gstar,
+                            kappa,
+                            &sources,
+                        ))
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench
+}
+criterion_main!(benches);

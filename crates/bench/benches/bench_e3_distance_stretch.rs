@@ -1,0 +1,58 @@
+//! E3 bench (Theorem 2.7): distance-stretch on civilized λ-precision
+//! point sets, including the λ-precision sampler itself. Table rows:
+//! `report -- e3`.
+
+use adhoc_bench::civilized_points;
+use adhoc_core::stretch::sampled_distance_stretch;
+use adhoc_core::ThetaAlg;
+use adhoc_geom::distributions::NodeDistribution;
+use adhoc_proximity::unit_disk_graph;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::f64::consts::PI;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_distance_stretch");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.sample_size(10);
+
+    g.bench_function("civilized_sampler_300", |b| {
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(7);
+            black_box(
+                NodeDistribution::Civilized { lambda: 0.035 }
+                    .sample(300, &mut rng)
+                    .unwrap(),
+            )
+        });
+    });
+
+    for (n, lambda) in [(150usize, 0.05f64), (300, 0.035)] {
+        let points = civilized_points(n, lambda, 5);
+        let range = (8.0 * lambda).min(0.45);
+        let gstar = unit_disk_graph(&points, range);
+        let sources: Vec<u32> = (0..n as u32).step_by(4).collect();
+        for (label, theta) in [("pi_3", PI / 3.0), ("pi_6", PI / 6.0)] {
+            let topo = ThetaAlg::new(theta, range).build(&points);
+            g.bench_function(
+                BenchmarkId::new(format!("distance_stretch_{label}"), n),
+                |b| {
+                    b.iter(|| {
+                        black_box(sampled_distance_stretch(&topo.spatial, &gstar, &sources))
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! E4 bench (Lemma 2.10): interference-set construction and interference
+//! number on 𝒩 and on G*, swept over n. Table rows: `report -- e4`.
+
+use adhoc_bench::uniform_points;
+use adhoc_core::ThetaAlg;
+use adhoc_interference::{interference_number, interference_sets, InterferenceModel};
+use adhoc_proximity::unit_disk_graph;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::f64::consts::PI;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_interference");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.sample_size(10);
+    let model = InterferenceModel::new(0.5);
+    for n in [100usize, 400, 1600] {
+        let points = uniform_points(n, 11);
+        let range = adhoc_geom::default_max_range(n);
+        let topo = ThetaAlg::new(PI / 3.0, range).build(&points);
+        g.bench_with_input(BenchmarkId::new("sets_on_theta", n), &n, |b, _| {
+            b.iter(|| black_box(interference_sets(&topo.spatial, model)));
+        });
+        g.bench_with_input(BenchmarkId::new("number_on_theta", n), &n, |b, _| {
+            b.iter(|| black_box(interference_number(&topo.spatial, model)));
+        });
+    }
+    // G* comparison at a smaller size (quadratically more edges).
+    for n in [100usize, 400] {
+        let points = uniform_points(n, 11);
+        let range = adhoc_geom::default_max_range(n);
+        let gstar = unit_disk_graph(&points, range);
+        g.bench_with_input(BenchmarkId::new("sets_on_gstar", n), &n, |b, _| {
+            b.iter(|| black_box(interference_sets(&gstar, model)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! E5 bench (Lemma 2.9 / Theorem 2.8): θ-path replacement of single
+//! edges and of whole maximal matchings, with the congestion counter.
+//! Table rows: `report -- e5`.
+
+use adhoc_bench::uniform_points;
+use adhoc_core::{replace_edge, theta_path_congestion, ThetaAlg};
+use adhoc_proximity::unit_disk_graph;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::f64::consts::PI;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_theta_paths");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.sample_size(10);
+    for n in [200usize, 800] {
+        let points = uniform_points(n, 13);
+        let range = adhoc_geom::default_max_range(n);
+        let gstar = unit_disk_graph(&points, range);
+        let topo = ThetaAlg::new(PI / 3.0, range).build(&points);
+        let edges: Vec<(u32, u32)> = gstar.graph.edges().map(|(u, v, _)| (u, v)).collect();
+
+        g.bench_with_input(BenchmarkId::new("replace_one_edge", n), &n, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let (u, v) = edges[i % edges.len()];
+                i += 1;
+                black_box(replace_edge(&topo, u, v).unwrap())
+            });
+        });
+
+        // Maximal matching as the non-interfering set.
+        let mut used = vec![false; n];
+        let mut matching = Vec::new();
+        for &(u, v) in &edges {
+            if !used[u as usize] && !used[v as usize] {
+                used[u as usize] = true;
+                used[v as usize] = true;
+                matching.push((u, v));
+            }
+        }
+        g.bench_with_input(
+            BenchmarkId::new("congestion_over_matching", n),
+            &n,
+            |b, _| {
+                b.iter(|| black_box(theta_path_congestion(&topo, &matching).unwrap()));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench
+}
+criterion_main!(benches);

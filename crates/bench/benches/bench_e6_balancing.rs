@@ -1,0 +1,100 @@
+//! E6 bench (Theorem 3.1): OPT-by-construction schedule building and the
+//! (T,γ)-balancing replay, plus the greedy baseline under the same
+//! adversary. Table rows: `report -- e6`.
+
+use adhoc_bench::uniform_points;
+use adhoc_proximity::unit_disk_graph;
+use adhoc_routing::{BalancingConfig, BalancingRouter, GreedyRouter};
+use adhoc_sim::runner::{run_balancing_on_schedule, run_greedy_on_schedule};
+use adhoc_sim::workloads::Workload;
+use adhoc_sim::{build_schedule_hops, Schedule};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn make_schedule(n: usize, volume: usize) -> (adhoc_proximity::SpatialGraph, Schedule) {
+    let points = uniform_points(n, 17);
+    let sg = unit_disk_graph(&points, 0.5);
+    let mut rng = ChaCha8Rng::seed_from_u64(19);
+    let flows = Workload::RandomPairs.pairs(n, 6, &mut rng);
+    let mut pairs = Vec::new();
+    for _ in 0..volume {
+        pairs.extend(flows.iter().copied());
+    }
+    let schedule = build_schedule_hops(&sg, &pairs);
+    (sg, schedule)
+}
+
+fn dests_of(schedule: &Schedule) -> Vec<u32> {
+    let mut d: Vec<u32> = schedule
+        .injections
+        .iter()
+        .flat_map(|v| v.iter().map(|&(_, d)| d))
+        .collect();
+    d.sort_unstable();
+    d.dedup();
+    d
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_balancing");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.sample_size(10);
+    for volume in [40usize, 160] {
+        let (sg, schedule) = make_schedule(60, volume);
+        let dests = dests_of(&schedule);
+        g.bench_with_input(
+            BenchmarkId::new("build_schedule", volume),
+            &volume,
+            |b, &v| {
+                let points = uniform_points(60, 17);
+                let sg2 = unit_disk_graph(&points, 0.5);
+                let mut rng = ChaCha8Rng::seed_from_u64(19);
+                let flows = Workload::RandomPairs.pairs(60, 6, &mut rng);
+                let mut pairs = Vec::new();
+                for _ in 0..v {
+                    pairs.extend(flows.iter().copied());
+                }
+                b.iter(|| black_box(build_schedule_hops(&sg2, &pairs)));
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("balancing_replay", volume),
+            &volume,
+            |b, _| {
+                b.iter(|| {
+                    let mut cfg = BalancingConfig::from_theorem_3_1(
+                        1,
+                        1,
+                        schedule.l_bar().max(1.0),
+                        schedule.c_bar().max(1e-6),
+                        0.25,
+                    );
+                    cfg.capacity = cfg.capacity.max(volume as u32);
+                    let mut router = BalancingRouter::new(sg.len(), &dests, cfg);
+                    black_box(run_balancing_on_schedule(&mut router, &schedule, 10))
+                });
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("greedy_replay", volume),
+            &volume,
+            |b, _| {
+                b.iter(|| {
+                    let mut router = GreedyRouter::new(&sg.hop_graph(), &dests, 200);
+                    black_box(run_greedy_on_schedule(&mut router, &schedule, 10))
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench
+}
+criterion_main!(benches);

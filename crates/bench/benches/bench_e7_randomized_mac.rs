@@ -1,0 +1,78 @@
+//! E7 bench (Lemma 3.2 / Theorem 3.3): randomized-MAC construction,
+//! per-step sampling, conflict detection, and full (T,γ,I) steps.
+//! Table rows: `report -- e7`.
+
+use adhoc_bench::uniform_points;
+use adhoc_core::ThetaAlg;
+use adhoc_interference::{ActivationRule, InterferenceModel, RandomizedMac};
+use adhoc_routing::{BalancingConfig, InterferenceRouter};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::f64::consts::PI;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_randomized_mac");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.sample_size(10);
+    for n in [200usize, 800] {
+        let points = uniform_points(n, 23);
+        let range = adhoc_geom::default_max_range(n);
+        let topo = ThetaAlg::new(PI / 3.0, range).build(&points);
+
+        g.bench_with_input(BenchmarkId::new("mac_build", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(RandomizedMac::new(
+                    &topo.spatial,
+                    InterferenceModel::new(0.5),
+                    ActivationRule::Local,
+                ))
+            });
+        });
+
+        let mac = RandomizedMac::new(
+            &topo.spatial,
+            InterferenceModel::new(0.5),
+            ActivationRule::Local,
+        );
+        g.bench_with_input(BenchmarkId::new("sample_and_resolve", n), &n, |b, _| {
+            let mut rng = ChaCha8Rng::seed_from_u64(29);
+            b.iter(|| {
+                let active = mac.sample_active(&mut rng);
+                black_box(mac.conflict_free(&active))
+            });
+        });
+
+        g.bench_with_input(BenchmarkId::new("tgi_step", n), &n, |b, _| {
+            let mut router = InterferenceRouter::new(
+                &topo.spatial,
+                &[0],
+                BalancingConfig {
+                    threshold: 0.5,
+                    gamma: 0.1,
+                    capacity: 50,
+                },
+                InterferenceModel::new(0.5),
+                ActivationRule::Local,
+                2.0,
+            );
+            let mut rng = ChaCha8Rng::seed_from_u64(31);
+            let mut s = 0u32;
+            b.iter(|| {
+                router.inject(1 + (s % (n as u32 - 1)), 0);
+                s += 1;
+                black_box(router.step(&mut rng))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! E8 bench (Corollaries 3.4/3.5): the full stack — ΘALG build, schedule
+//! on G*, and a fixed budget of (T,γ,I) steps draining it. Table rows:
+//! `report -- e8`.
+
+use adhoc_bench::uniform_points;
+use adhoc_core::ThetaAlg;
+use adhoc_interference::{ActivationRule, InterferenceModel};
+use adhoc_proximity::unit_disk_graph;
+use adhoc_routing::{BalancingConfig, InterferenceRouter};
+use adhoc_sim::build_schedule;
+use adhoc_sim::workloads::Workload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::f64::consts::PI;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_end_to_end");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.sample_size(10);
+    for n in [60usize, 240] {
+        let points = uniform_points(n, 37);
+        let range = adhoc_geom::default_max_range(n);
+        let gstar = unit_disk_graph(&points, range);
+        let topo = ThetaAlg::new(PI / 3.0, range).build(&points);
+        let mut rng = ChaCha8Rng::seed_from_u64(41);
+        let pairs = Workload::RandomPairs.pairs(n, n, &mut rng);
+        let schedule = build_schedule(&gstar, 2.0, &pairs);
+        let mut dests: Vec<u32> = schedule
+            .injections
+            .iter()
+            .flat_map(|v| v.iter().map(|&(_, d)| d))
+            .collect();
+        dests.sort_unstable();
+        dests.dedup();
+
+        g.bench_with_input(BenchmarkId::new("full_stack_1000_steps", n), &n, |b, _| {
+            b.iter(|| {
+                let mut ir = InterferenceRouter::new(
+                    &topo.spatial,
+                    &dests,
+                    BalancingConfig {
+                        threshold: 0.5,
+                        gamma: 0.05,
+                        capacity: 60,
+                    },
+                    InterferenceModel::new(0.5),
+                    ActivationRule::Local,
+                    2.0,
+                );
+                for &(src, dest) in schedule.injections.iter().flatten() {
+                    ir.inject(src, dest);
+                }
+                let mut proto = ChaCha8Rng::seed_from_u64(43);
+                for _ in 0..1000 {
+                    ir.step(&mut proto);
+                }
+                black_box(ir.metrics())
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench
+}
+criterion_main!(benches);

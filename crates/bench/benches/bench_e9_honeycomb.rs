@@ -1,0 +1,80 @@
+//! E9 bench (Lemmas 3.6/3.7, Theorem 3.8): honeycomb contest rounds and
+//! full router steps on grid deployments. Table rows: `report -- e9`.
+
+use adhoc_geom::{HexCoord, Point};
+use adhoc_interference::hexmac::{Candidate, HoneycombMac};
+use adhoc_interference::model::Transmission;
+use adhoc_routing::{HoneycombConfig, HoneycombRouter};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e9_honeycomb");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.sample_size(10);
+
+    // Contest round over a dense candidate field.
+    let mac = HoneycombMac::with_paper_pt(0.5, 0.0);
+    let grid = mac.grid();
+    let mut positions = Vec::new();
+    let mut candidates = Vec::new();
+    for q in -5..=5 {
+        for r in -5..=5 {
+            let center = grid.center(HexCoord::new(q, r));
+            for k in 0..4 {
+                let s = positions.len() as u32;
+                positions.push(Point::new(center.x + 0.2 * k as f64, center.y));
+                positions.push(Point::new(center.x + 0.2 * k as f64 + 0.9, center.y));
+                candidates.push(Candidate {
+                    link: Transmission::new(s, s + 1),
+                    benefit: 1.0 + k as f64,
+                });
+            }
+        }
+    }
+    g.bench_function("contest_484_candidates", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(47);
+        b.iter(|| black_box(mac.contest(&positions, &candidates, &mut rng)));
+    });
+
+    // Full honeycomb router step on grids.
+    for side in [8usize, 16] {
+        let mut grid_positions = Vec::new();
+        for i in 0..side {
+            for j in 0..side {
+                grid_positions.push(Point::new(0.8 * i as f64, 0.8 * j as f64));
+            }
+        }
+        let n = grid_positions.len();
+        g.bench_with_input(BenchmarkId::new("router_step", side), &side, |b, _| {
+            let mut router = HoneycombRouter::new(
+                &grid_positions,
+                &[0],
+                HoneycombConfig {
+                    threshold: 0.5,
+                    capacity: 10,
+                    delta: 0.5,
+                    p_t: 1.0 / 6.0,
+                },
+            );
+            let mut rng = ChaCha8Rng::seed_from_u64(53);
+            let mut s = 0u32;
+            b.iter(|| {
+                router.inject(1 + (s % (n as u32 - 1)), 0);
+                s += 1;
+                black_box(router.step(&mut rng))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench
+}
+criterion_main!(benches);

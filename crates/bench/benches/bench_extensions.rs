@@ -1,0 +1,191 @@
+//! Benches for the extension subsystems: Delaunay construction,
+//! β-skeletons, global spanner comparators, TDMA coloring, min-cut
+//! ceilings, SINR batches, and the stale/anycast/traced router variants.
+
+use adhoc_bench::uniform_points;
+use adhoc_core::{greedy_spanner, ThetaAlg};
+use adhoc_graph::multi_source_min_cut;
+use adhoc_interference::model::Transmission;
+use adhoc_interference::{tdma_schedule, InterferenceModel, PowerPolicy, SinrModel};
+use adhoc_proximity::{beta_skeleton, delaunay_graph, unit_disk_graph};
+use adhoc_routing::{
+    ActiveEdge, AnycastRouter, BalancingConfig, GeoGreedyRouter, StaleBalancingRouter,
+    TracedRouter,
+};
+use adhoc_sim::emulation::emulate_on_theta;
+use adhoc_sim::workloads::Workload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use std::f64::consts::PI;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("extensions");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.sample_size(10);
+
+    for n in [100usize, 400] {
+        let points = uniform_points(n, 201);
+        g.bench_with_input(BenchmarkId::new("delaunay_build", n), &n, |b, _| {
+            b.iter(|| black_box(delaunay_graph(&points)));
+        });
+        g.bench_with_input(BenchmarkId::new("beta_skeleton_1_5", n), &n, |b, _| {
+            b.iter(|| black_box(beta_skeleton(&points, 1.5, 10.0)));
+        });
+    }
+
+    {
+        let points = uniform_points(60, 203);
+        let gstar = unit_disk_graph(&points, 10.0);
+        g.bench_function("greedy_spanner_60n", |b| {
+            b.iter(|| black_box(greedy_spanner(&gstar, 2.0)));
+        });
+    }
+
+    for n in [200usize, 800] {
+        let points = uniform_points(n, 205);
+        let range = adhoc_geom::default_max_range(n);
+        let topo = ThetaAlg::new(PI / 3.0, range).build(&points);
+        g.bench_with_input(BenchmarkId::new("tdma_coloring", n), &n, |b, _| {
+            b.iter(|| black_box(tdma_schedule(&topo.spatial, InterferenceModel::new(0.5))));
+        });
+        g.bench_with_input(BenchmarkId::new("min_cut_ceiling", n), &n, |b, _| {
+            let sources: Vec<u32> = (1..n as u32).collect();
+            b.iter(|| {
+                black_box(multi_source_min_cut(
+                    n,
+                    topo.spatial.graph.edges().map(|(u, v, _)| (u, v, 1.0)),
+                    &sources,
+                    0,
+                ))
+            });
+        });
+    }
+
+    {
+        let points = uniform_points(150, 207);
+        let range = adhoc_geom::default_max_range(150);
+        let topo = ThetaAlg::new(PI / 3.0, range).build(&points);
+        let edges: Vec<Transmission> = topo
+            .spatial
+            .graph
+            .edges()
+            .map(|(u, v, _)| Transmission::new(u, v))
+            .collect();
+        let sinr = SinrModel {
+            kappa: 3.0,
+            beta: 1.2,
+            noise: 1e-7,
+            power: PowerPolicy::MinimumPlusMargin(4.0),
+        };
+        g.bench_function("sinr_batch_of_5", |b| {
+            let mut rng = ChaCha8Rng::seed_from_u64(209);
+            b.iter(|| {
+                let batch: Vec<Transmission> =
+                    (0..5).map(|_| edges[rng.gen_range(0..edges.len())]).collect();
+                black_box(sinr.successful(&topo.spatial.points, &batch))
+            });
+        });
+    }
+
+    // Router-variant step throughput on a common topology.
+    {
+        let n = 200usize;
+        let points = uniform_points(n, 211);
+        let sg = unit_disk_graph(&points, adhoc_geom::default_max_range(n));
+        let edges: Vec<ActiveEdge> = sg
+            .graph
+            .edges()
+            .map(|(u, v, w)| ActiveEdge::new(u, v, w * w))
+            .collect();
+        let cfg = BalancingConfig {
+            threshold: 0.5,
+            gamma: 0.1,
+            capacity: 50,
+        };
+
+        g.bench_function("stale_router_step_p8", |b| {
+            let mut router = StaleBalancingRouter::new(n, &[0], cfg, 8);
+            let mut s = 0u32;
+            b.iter(|| {
+                router.inject(1 + (s % (n as u32 - 1)), 0);
+                s += 1;
+                black_box(router.step(&edges))
+            });
+        });
+
+        g.bench_function("anycast_router_step", |b| {
+            let mut router = AnycastRouter::new(n, &[vec![0, 1, 2, 3]], 0.5, 0.1, 50);
+            let mut s = 0u32;
+            b.iter(|| {
+                router.inject(4 + (s % (n as u32 - 4)), 0);
+                s += 1;
+                black_box(router.step(&edges))
+            });
+        });
+
+        g.bench_function("traced_router_step", |b| {
+            let mut router = TracedRouter::new(n, &[0], cfg);
+            let mut s = 0u32;
+            b.iter(|| {
+                router.inject(1 + (s % (n as u32 - 1)), 0);
+                s += 1;
+                black_box(router.step(&edges))
+            });
+        });
+    }
+
+    // Theorem 2.8 emulation pipeline.
+    {
+        let n = 100usize;
+        let points = uniform_points(n, 213);
+        let range = adhoc_geom::default_max_range(n);
+        let gstar = unit_disk_graph(&points, range);
+        let topo = ThetaAlg::new(PI / 3.0, range).build(&points);
+        let mut rng = ChaCha8Rng::seed_from_u64(215);
+        let pairs = Workload::RandomPairs.pairs(n, n / 2, &mut rng);
+        let schedule = adhoc_sim::build_schedule(&gstar, 2.0, &pairs);
+        g.bench_function("emulate_schedule_100n", |b| {
+            b.iter(|| {
+                black_box(emulate_on_theta(
+                    &topo,
+                    &schedule,
+                    InterferenceModel::new(0.5),
+                ))
+            });
+        });
+    }
+
+    // Geographic greedy step.
+    {
+        let n = 200usize;
+        let points = uniform_points(n, 217);
+        let sg = unit_disk_graph(&points, adhoc_geom::default_max_range(n));
+        let edges: Vec<ActiveEdge> = sg
+            .graph
+            .edges()
+            .map(|(u, v, w)| ActiveEdge::new(u, v, w))
+            .collect();
+        g.bench_function("geo_greedy_step", |b| {
+            let mut router = GeoGreedyRouter::new(&points, &[0], 20, 10);
+            let mut s = 0u32;
+            b.iter(|| {
+                router.inject(1 + (s % (n as u32 - 1)), 0);
+                s += 1;
+                router.step(&edges);
+                black_box(router.metrics())
+            });
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Micro-benchmarks of the hot kernels beneath every experiment:
+//! spatial-grid construction and queries, UDG construction, Dijkstra,
+//! balancing decision steps, and the Yao phase-1 scan.
+
+use adhoc_bench::uniform_points;
+use adhoc_geom::{GridIndex, SectorPartition};
+use adhoc_graph::dijkstra;
+use adhoc_proximity::unit_disk_graph;
+use adhoc_proximity::yao::yao_out_neighbors;
+use adhoc_routing::{ActiveEdge, BalancingConfig, BalancingRouter};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use std::f64::consts::PI;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.sample_size(20);
+
+    for n in [1000usize, 10_000] {
+        let points = uniform_points(n, 71);
+        let range = adhoc_geom::default_max_range(n);
+
+        g.bench_with_input(BenchmarkId::new("grid_build", n), &n, |b, _| {
+            b.iter(|| black_box(GridIndex::build(&points, range)));
+        });
+
+        let grid = GridIndex::build(&points, range);
+        g.bench_with_input(BenchmarkId::new("grid_query", n), &n, |b, _| {
+            let mut rng = ChaCha8Rng::seed_from_u64(73);
+            b.iter(|| {
+                let q = points[rng.gen_range(0..n)];
+                let mut count = 0u32;
+                grid.for_each_within(q, range, |_| count += 1);
+                black_box(count)
+            });
+        });
+
+        g.bench_with_input(BenchmarkId::new("udg_build", n), &n, |b, _| {
+            b.iter(|| black_box(unit_disk_graph(&points, range)));
+        });
+
+        g.bench_with_input(BenchmarkId::new("yao_phase1", n), &n, |b, _| {
+            let sectors = SectorPartition::with_max_angle(PI / 3.0);
+            b.iter(|| black_box(yao_out_neighbors(&points, sectors, range)));
+        });
+
+        let udg = unit_disk_graph(&points, range);
+        g.bench_with_input(BenchmarkId::new("dijkstra", n), &n, |b, _| {
+            b.iter(|| black_box(dijkstra(&udg.graph, 0)));
+        });
+    }
+
+    // Balancing step throughput on a loaded router.
+    let n = 500usize;
+    let points = uniform_points(n, 79);
+    let sg = unit_disk_graph(&points, adhoc_geom::default_max_range(n));
+    let edges: Vec<ActiveEdge> = sg
+        .graph
+        .edges()
+        .map(|(u, v, w)| ActiveEdge::new(u, v, w * w))
+        .collect();
+    let dests: Vec<u32> = (0..8).collect();
+    let mut router = BalancingRouter::new(
+        n,
+        &dests,
+        BalancingConfig {
+            threshold: 0.5,
+            gamma: 0.1,
+            capacity: 100,
+        },
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(83);
+    for _ in 0..2000 {
+        router.inject(rng.gen_range(8..n as u32), rng.gen_range(0..8));
+    }
+    g.bench_function("balancing_step_500n", |b| {
+        b.iter(|| black_box(router.step(&edges)));
+    });
+
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench
+}
+criterion_main!(benches);

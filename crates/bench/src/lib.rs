@@ -1,0 +1,36 @@
+//! Shared fixtures for the benchmark harness.
+
+use adhoc_geom::distributions::NodeDistribution;
+use adhoc_geom::Point;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Deterministic uniform points in the unit square.
+pub fn uniform_points(n: usize, seed: u64) -> Vec<Point> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    NodeDistribution::unit_square()
+        .sample(n, &mut rng)
+        .expect("sampling")
+}
+
+/// Deterministic civilized (λ-precision) points.
+pub fn civilized_points(n: usize, lambda: f64, seed: u64) -> Vec<Point> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    NodeDistribution::Civilized { lambda }
+        .sample(n, &mut rng)
+        .expect("sampling")
+}
+
+/// The standard sizes the experiment benches sweep.
+pub const SIZES: [usize; 3] = [100, 400, 1600];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_deterministic() {
+        assert_eq!(uniform_points(50, 1), uniform_points(50, 1));
+        assert_eq!(civilized_points(50, 0.04, 1), civilized_points(50, 0.04, 1));
+    }
+}

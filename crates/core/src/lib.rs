@@ -1,0 +1,36 @@
+//! # adhoc-core
+//!
+//! The primary contribution of *"On Local Algorithms for Topology Control
+//! and Routing in Ad Hoc Networks"* (Jia, Rajaraman, Scheideler; SPAA'03):
+//!
+//! * [`theta::ThetaAlg`] — the two-phase local topology control algorithm
+//!   ΘALG (§2.1, originally proposed by Li et al.): phase 1 builds the Yao
+//!   graph `𝒩₁` (nearest neighbor per θ-sector); phase 2 prunes in-degrees
+//!   by letting every node admit only the shortest incoming edge per
+//!   sector. The result `𝒩` is connected, has degree ≤ `4π/θ`
+//!   (Lemma 2.1), `O(1)` energy-stretch for **any** node distribution
+//!   (Theorem 2.2) and `O(1)` distance-stretch on civilized graphs
+//!   (Theorem 2.7).
+//! * [`protocol`] — the 3-round message-passing formulation (Position /
+//!   Neighborhood / Connection broadcasts) proving the algorithm is
+//!   genuinely local; it reproduces the direct construction exactly.
+//! * [`stretch`] — energy- and distance-stretch measurement wrappers
+//!   (experiments E2, E3).
+//! * [`theta_path`] — the recursive edge→path replacement from the proof
+//!   of Theorem 2.8, with the congestion counter for Lemma 2.9's "≤ 6"
+//!   claim (experiment E5).
+//! * [`verify`] — Lemma 2.1 verifiers (connectivity + degree bound,
+//!   experiment E1).
+
+pub mod comparators;
+pub mod protocol;
+pub mod stretch;
+pub mod theta;
+pub mod theta_path;
+pub mod verify;
+
+pub use comparators::{greedy_spanner, prune_spanner, GlobalWork};
+pub use stretch::{distance_stretch, energy_stretch};
+pub use theta::{ThetaAlg, ThetaTopology};
+pub use theta_path::{replace_edge, theta_path_congestion, PathReplaceError};
+pub use verify::{degree_bound, verify_lemma_2_1, Lemma21Report};

@@ -1,0 +1,310 @@
+//! The 3-round message-passing formulation of ΘALG (paper §2.1).
+//!
+//! > "ΘALG can be implemented by three rounds of local message
+//! > broadcasting and computation."
+//!
+//! * **Round 1** — every node broadcasts a `Position` message at maximum
+//!   power; every node within range `D` receives it. Each node then
+//!   computes `N(u)` purely from the positions it heard.
+//! * **Round 2** — every node `u` sends a `Neighborhood` message
+//!   containing `N(u)` to each node in `N(u)` (so `v` learns which nodes
+//!   offered it an edge).
+//! * **Round 3** — every node `v` sends a `Connection` message to the
+//!   nearest offering node per sector; the exchanged connection messages
+//!   are exactly the edges of `𝒩`.
+//!
+//! This module *simulates the radio rounds with explicit mailboxes*: each
+//! node's computation reads only the messages it received, which
+//! demonstrates the locality claim. [`run_local_protocol`] must produce a
+//! graph identical to the direct [`crate::ThetaAlg::build`] construction —
+//! a property the test suite asserts on every distribution.
+
+use adhoc_geom::{GridIndex, Point, SectorPartition};
+use adhoc_graph::{GraphBuilder, NodeId};
+use adhoc_proximity::SpatialGraph;
+
+/// A `Position` broadcast as received by some node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PositionMsg {
+    pub from: NodeId,
+    pub position: Point,
+}
+
+/// A `Neighborhood` message: the sender's phase-1 choice set `N(u)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NeighborhoodMsg {
+    pub from: NodeId,
+    pub neighbors: Vec<NodeId>,
+}
+
+/// A `Connection` message: the sender admits the edge to `from`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConnectionMsg {
+    pub from: NodeId,
+}
+
+/// Per-node protocol state; all decisions below use only this node's
+/// received messages.
+struct NodeState {
+    id: NodeId,
+    position: Point,
+    /// Round-1 inbox.
+    heard_positions: Vec<PositionMsg>,
+    /// Phase-1 output: nearest heard node per sector.
+    chosen: Vec<NodeId>,
+    /// Round-2 inbox: who offered me an edge.
+    offers: Vec<NodeId>,
+}
+
+impl NodeState {
+    /// Compute `N(u)` from the local round-1 inbox only.
+    fn compute_choices(&mut self, sectors: SectorPartition) {
+        let k = sectors.count() as usize;
+        let mut best: Vec<Option<(f64, NodeId)>> = vec![None; k];
+        for msg in &self.heard_positions {
+            let s = sectors.sector_of(self.position, msg.position) as usize;
+            let d = self.position.dist_sq(msg.position);
+            let better = match best[s] {
+                None => true,
+                Some((bd, bv)) => d < bd || (d == bd && msg.from < bv),
+            };
+            if better {
+                best[s] = Some((d, msg.from));
+            }
+        }
+        self.chosen = best.iter().filter_map(|b| b.map(|(_, v)| v)).collect();
+    }
+
+    /// Decide which offers to admit (one per sector), using the positions
+    /// heard in round 1 to measure distances and sectors.
+    fn admit_offers(&self, sectors: SectorPartition) -> Vec<NodeId> {
+        let pos_of = |v: NodeId| -> Option<Point> {
+            self.heard_positions
+                .iter()
+                .find(|m| m.from == v)
+                .map(|m| m.position)
+        };
+        let k = sectors.count() as usize;
+        let mut best: Vec<Option<(f64, NodeId)>> = vec![None; k];
+        for &v in &self.offers {
+            // An offer can only come from a node we heard (it is within D).
+            let pv = pos_of(v).expect("offer from a node outside radio range");
+            let s = sectors.sector_of(self.position, pv) as usize;
+            let d = self.position.dist_sq(pv);
+            let better = match best[s] {
+                None => true,
+                Some((bd, bv)) => d < bd || (d == bd && v < bv),
+            };
+            if better {
+                best[s] = Some((d, v));
+            }
+        }
+        best.iter().filter_map(|b| b.map(|(_, v)| v)).collect()
+    }
+}
+
+/// Message/communication accounting for one protocol execution — the
+/// quantified locality claim: ΘALG costs three broadcast rounds with
+/// per-node message sizes bounded by the local neighborhood, versus the
+/// network-diameter postprocessing of the global constructions
+/// (`adhoc_core::comparators`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProtocolStats {
+    /// Position broadcasts (one per node).
+    pub position_broadcasts: usize,
+    /// Point-to-point Neighborhood messages (round 2).
+    pub neighborhood_messages: usize,
+    /// Point-to-point Connection messages (round 3).
+    pub connection_messages: usize,
+    /// Total radio rounds (always 3).
+    pub rounds: usize,
+}
+
+impl ProtocolStats {
+    /// Total messages across all rounds.
+    pub fn total_messages(&self) -> usize {
+        self.position_broadcasts + self.neighborhood_messages + self.connection_messages
+    }
+}
+
+/// Execute the three protocol rounds and return the resulting topology
+/// `𝒩` (Euclidean edge weights).
+pub fn run_local_protocol(
+    points: &[Point],
+    sectors: SectorPartition,
+    range: f64,
+) -> SpatialGraph {
+    run_local_protocol_with_stats(points, sectors, range).0
+}
+
+/// [`run_local_protocol`] plus message accounting.
+pub fn run_local_protocol_with_stats(
+    points: &[Point],
+    sectors: SectorPartition,
+    range: f64,
+) -> (SpatialGraph, ProtocolStats) {
+    assert!(
+        range.is_finite() && range > 0.0,
+        "range must be positive, got {range}"
+    );
+    let n = points.len();
+    let mut nodes: Vec<NodeState> = points
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| NodeState {
+            id: i as NodeId,
+            position: p,
+            heard_positions: Vec::new(),
+            chosen: Vec::new(),
+            offers: Vec::new(),
+        })
+        .collect();
+
+    let mut stats = ProtocolStats {
+        rounds: 3,
+        position_broadcasts: n,
+        ..Default::default()
+    };
+    if n == 0 {
+        return (
+            SpatialGraph::new(Vec::new(), GraphBuilder::new(0).build(), range),
+            stats,
+        );
+    }
+
+    // ---- Round 1: Position broadcasts (radio delivery within D) -------
+    let grid = GridIndex::build(points, range);
+    for u in 0..n as NodeId {
+        let pu = points[u as usize];
+        grid.for_each_within(pu, range, |v| {
+            if v != u {
+                // node v receives u's broadcast
+                nodes[v as usize].heard_positions.push(PositionMsg {
+                    from: u,
+                    position: pu,
+                });
+            }
+        });
+    }
+    for node in nodes.iter_mut() {
+        node.compute_choices(sectors);
+    }
+
+    // ---- Round 2: Neighborhood messages to each chosen neighbor -------
+    let round2: Vec<NeighborhoodMsg> = nodes
+        .iter()
+        .map(|node| NeighborhoodMsg {
+            from: node.id,
+            neighbors: node.chosen.clone(),
+        })
+        .collect();
+    for msg in &round2 {
+        for &v in &msg.neighbors {
+            stats.neighborhood_messages += 1;
+            nodes[v as usize].offers.push(msg.from);
+        }
+    }
+
+    // ---- Round 3: Connection messages; edges = exchanged connections --
+    let mut builder = GraphBuilder::new(n);
+    for node in &nodes {
+        for admitted in node.admit_offers(sectors) {
+            let _ = ConnectionMsg { from: node.id };
+            stats.connection_messages += 1;
+            builder.add_edge(
+                node.id,
+                admitted,
+                node.position.dist(points[admitted as usize]),
+            );
+        }
+    }
+
+    (SpatialGraph::new(points.to_vec(), builder.build(), range), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::theta::ThetaAlg;
+    use rand::prelude::*;
+    use rand_chacha::ChaCha8Rng;
+    use std::f64::consts::FRAC_PI_3;
+
+    fn uniform(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new(rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect()
+    }
+
+    #[test]
+    fn protocol_matches_direct_construction_uniform() {
+        for seed in [1u64, 2, 3] {
+            let points = uniform(120, seed);
+            for range in [0.3, 0.6] {
+                let alg = ThetaAlg::new(FRAC_PI_3, range);
+                let direct = alg.build(&points);
+                let proto = run_local_protocol(&points, alg.sectors(), range);
+                assert_eq!(
+                    direct.spatial.graph, proto.graph,
+                    "seed {seed} range {range}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn protocol_matches_on_adversarial_ring() {
+        let n = 48;
+        let mut points = vec![Point::new(0.0, 0.0)];
+        for i in 0..n {
+            let a = i as f64 / n as f64 * std::f64::consts::TAU;
+            points.push(Point::new(a.cos(), a.sin()));
+        }
+        let alg = ThetaAlg::new(FRAC_PI_3 / 2.0, 3.0);
+        let direct = alg.build(&points);
+        let proto = run_local_protocol(&points, alg.sectors(), 3.0);
+        assert_eq!(direct.spatial.graph, proto.graph);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let sectors = SectorPartition::with_max_angle(FRAC_PI_3);
+        assert!(run_local_protocol(&[], sectors, 1.0).is_empty());
+        let one = run_local_protocol(&[Point::ORIGIN], sectors, 1.0);
+        assert_eq!(one.graph.num_edges(), 0);
+    }
+
+    #[test]
+    fn stats_count_locality() {
+        let points = uniform(100, 5);
+        let sectors = SectorPartition::with_max_angle(FRAC_PI_3);
+        let (g, stats) = run_local_protocol_with_stats(&points, sectors, 0.4);
+        assert_eq!(stats.rounds, 3);
+        assert_eq!(stats.position_broadcasts, 100);
+        // Each node sends ≤ one Neighborhood message per sector (6 here).
+        assert!(stats.neighborhood_messages <= 600);
+        // Each Connection message creates at most one edge; both sides
+        // may announce the same edge.
+        assert!(stats.connection_messages >= g.graph.num_edges());
+        assert!(stats.connection_messages <= 2 * g.graph.num_edges());
+        assert!(stats.total_messages() < 100 + 600 + 2 * g.graph.num_edges() + 1);
+    }
+
+    #[test]
+    fn messages_only_travel_within_range() {
+        // Two clusters beyond range: no cross edges possible.
+        let points = vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.1, 0.0),
+            Point::new(5.0, 0.0),
+            Point::new(5.1, 0.0),
+        ];
+        let sectors = SectorPartition::with_max_angle(FRAC_PI_3);
+        let g = run_local_protocol(&points, sectors, 1.0);
+        assert!(g.graph.has_edge(0, 1));
+        assert!(g.graph.has_edge(2, 3));
+        assert!(!g.graph.has_edge(1, 2));
+        assert_eq!(g.graph.num_edges(), 2);
+    }
+}

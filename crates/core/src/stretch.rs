@@ -1,0 +1,133 @@
+//! Energy- and distance-stretch of a topology (paper §2.2, §2.3).
+//!
+//! * **Energy-stretch** (Theorem 2.2): max over node pairs of the ratio of
+//!   cheapest `|uv|^κ`-cost paths in the topology vs in `G*`. ΘALG
+//!   guarantees `O(1)` for any node distribution.
+//! * **Distance-stretch** (Theorem 2.7): the same ratio under Euclidean
+//!   length weights. ΘALG guarantees `O(1)` on civilized (λ-precision)
+//!   graphs.
+
+use adhoc_graph::{pairwise_stretch, sampled_stretch, NodeId, StretchStats};
+use adhoc_proximity::SpatialGraph;
+
+/// Exact all-pairs energy-stretch of `topo` relative to `gstar` under
+/// exponent `kappa` (rayon-parallel; `O(n · m log n)`).
+///
+/// # Panics
+/// Panics if the two graphs are over different node sets.
+pub fn energy_stretch(topo: &SpatialGraph, gstar: &SpatialGraph, kappa: f64) -> StretchStats {
+    pairwise_stretch(&topo.energy_graph(kappa), &gstar.energy_graph(kappa))
+}
+
+/// Exact all-pairs distance-stretch of `topo` relative to `gstar`.
+pub fn distance_stretch(topo: &SpatialGraph, gstar: &SpatialGraph) -> StretchStats {
+    pairwise_stretch(&topo.graph, &gstar.graph)
+}
+
+/// Energy-stretch estimated from a subset of source nodes (for large `n`).
+pub fn sampled_energy_stretch(
+    topo: &SpatialGraph,
+    gstar: &SpatialGraph,
+    kappa: f64,
+    sources: &[NodeId],
+) -> StretchStats {
+    sampled_stretch(&topo.energy_graph(kappa), &gstar.energy_graph(kappa), sources)
+}
+
+/// Distance-stretch estimated from a subset of source nodes.
+pub fn sampled_distance_stretch(
+    topo: &SpatialGraph,
+    gstar: &SpatialGraph,
+    sources: &[NodeId],
+) -> StretchStats {
+    sampled_stretch(&topo.graph, &gstar.graph, sources)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::theta::ThetaAlg;
+    use adhoc_geom::distributions::NodeDistribution;
+    use adhoc_geom::Point;
+    use adhoc_proximity::unit_disk_graph;
+    use rand::prelude::*;
+    use rand_chacha::ChaCha8Rng;
+    use std::f64::consts::FRAC_PI_3;
+
+    fn uniform(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new(rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect()
+    }
+
+    #[test]
+    fn theorem_2_2_energy_stretch_is_small_constant_uniform() {
+        // The headline claim: O(1) energy-stretch. Empirically the
+        // constant is small (< 3 for θ = π/3, κ = 2 on uniform inputs).
+        let points = uniform(200, 5);
+        let range = adhoc_geom::default_max_range(points.len());
+        let topo = ThetaAlg::new(FRAC_PI_3, range).build(&points);
+        let gstar = unit_disk_graph(&points, range);
+        let st = energy_stretch(&topo.spatial, &gstar, 2.0);
+        assert!(st.connectivity_preserved());
+        assert!(st.max >= 1.0 - 1e-9);
+        assert!(st.max < 4.0, "energy stretch unexpectedly large: {}", st.max);
+    }
+
+    #[test]
+    fn energy_stretch_improves_with_kappa() {
+        // Higher κ penalizes long hops more; the detours 𝒩 takes are
+        // made of short edges, so stretch does not blow up with κ.
+        let points = uniform(150, 9);
+        let range = 10.0;
+        let topo = ThetaAlg::new(FRAC_PI_3, range).build(&points);
+        let gstar = unit_disk_graph(&points, range);
+        for kappa in [2.0, 3.0, 4.0] {
+            let st = energy_stretch(&topo.spatial, &gstar, kappa);
+            assert!(st.connectivity_preserved(), "kappa {kappa}");
+            assert!(st.max < 6.0, "kappa {kappa}: stretch {}", st.max);
+        }
+    }
+
+    #[test]
+    fn theorem_2_7_distance_stretch_on_civilized() {
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        let points = NodeDistribution::Civilized { lambda: 0.05 }
+            .sample(150, &mut rng)
+            .unwrap();
+        let range = 0.3;
+        let gstar = unit_disk_graph(&points, range);
+        if !adhoc_graph::is_connected(&gstar.graph) {
+            panic!("civilized sample not connected at this range; adjust test parameters");
+        }
+        let topo = ThetaAlg::new(FRAC_PI_3, range).build(&points);
+        let st = distance_stretch(&topo.spatial, &gstar);
+        assert!(st.connectivity_preserved());
+        assert!(st.max < 6.0, "distance stretch too large: {}", st.max);
+    }
+
+    #[test]
+    fn sampled_bounds_exact() {
+        let points = uniform(100, 13);
+        let range = 10.0;
+        let topo = ThetaAlg::new(FRAC_PI_3, range).build(&points);
+        let gstar = unit_disk_graph(&points, range);
+        let exact = energy_stretch(&topo.spatial, &gstar, 2.0);
+        let sources: Vec<u32> = (0..100).collect();
+        let all_sampled = sampled_energy_stretch(&topo.spatial, &gstar, 2.0, &sources);
+        assert!((exact.max - all_sampled.max).abs() < 1e-12);
+        let some = sampled_energy_stretch(&topo.spatial, &gstar, 2.0, &sources[..10]);
+        assert!(some.max <= exact.max + 1e-12);
+    }
+
+    #[test]
+    fn sampled_distance_stretch_subset() {
+        let points = uniform(80, 15);
+        let topo = ThetaAlg::new(FRAC_PI_3, 10.0).build(&points);
+        let gstar = unit_disk_graph(&points, 10.0);
+        let st = sampled_distance_stretch(&topo.spatial, &gstar, &[0, 1, 2]);
+        assert!(st.max >= 1.0 - 1e-9);
+        assert_eq!(st.pairs + st.disconnected_pairs, 3 * 79);
+    }
+}

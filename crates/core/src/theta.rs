@@ -1,0 +1,384 @@
+//! The ΘALG two-phase local topology control algorithm (paper §2.1).
+//!
+//! Phase 1 — each node `u` computes `N(u)`: the nearest node in each of
+//! its θ-sectors (among nodes within the maximum transmission range `D`).
+//! The directed edges `u → N(u)` form the Yao graph `𝒩₁`, which is a
+//! spanner but has unbounded in-degree.
+//!
+//! Phase 2 — each node `u` *admits* only the shortest incoming offer per
+//! sector: edge `(u, v)` survives iff `v` is the nearest node in `S(u, v)`
+//! with `u ∈ N(v)`, or symmetrically `u` is the nearest node in `S(v, u)`
+//! with `v ∈ N(u)`. This caps every node's degree at
+//! `|sectors out| + |sectors in| ≤ 4π/θ` (Lemma 2.1) while preserving
+//! connectivity and `O(1)` energy-stretch (Theorem 2.2).
+//!
+//! Ties in distance are broken by node id, constructively discharging the
+//! paper's unique-distances assumption.
+
+use adhoc_geom::{Point, SectorPartition};
+use adhoc_graph::{GraphBuilder, NodeId};
+use adhoc_proximity::yao::yao_out_neighbors;
+use adhoc_proximity::SpatialGraph;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the ΘALG topology control algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThetaAlg {
+    sectors: SectorPartition,
+    range: f64,
+}
+
+impl ThetaAlg {
+    /// ΘALG with sector angle at most `theta` (paper requires
+    /// `θ ≤ π/3`) and maximum transmission range `range`.
+    ///
+    /// # Panics
+    /// Panics if `theta` is not in `(0, π/3]` or `range` is not positive.
+    pub fn new(theta: f64, range: f64) -> Self {
+        assert!(
+            theta > 0.0 && theta <= std::f64::consts::FRAC_PI_3 + 1e-12,
+            "ΘALG requires θ ∈ (0, π/3], got {theta}"
+        );
+        assert!(
+            range.is_finite() && range > 0.0,
+            "range must be positive, got {range}"
+        );
+        ThetaAlg {
+            sectors: SectorPartition::with_max_angle(theta),
+            range,
+        }
+    }
+
+    /// The sector partition in use.
+    pub fn sectors(&self) -> SectorPartition {
+        self.sectors
+    }
+
+    /// The maximum transmission range `D`.
+    pub fn range(&self) -> f64 {
+        self.range
+    }
+
+    /// Run both phases and return the topology `𝒩` with its construction
+    /// metadata (needed by the θ-path replacement of Theorem 2.8).
+    pub fn build(&self, points: &[Point]) -> ThetaTopology {
+        let n = points.len();
+        let k = self.sectors.count() as usize;
+
+        // ---- Phase 1: N(u) = nearest neighbor per sector --------------
+        let yao = yao_out_neighbors(points, self.sectors, self.range);
+
+        // Record, for each node u, its phase-1 choices with sector labels:
+        // nearest_out[u] = [(sector of u containing v, v)].
+        let mut nearest_out: Vec<Vec<(u32, NodeId)>> = vec![Vec::new(); n];
+        for (u, targets) in yao.iter().enumerate() {
+            let pu = points[u];
+            nearest_out[u] = targets
+                .iter()
+                .map(|&v| (self.sectors.sector_of(pu, points[v as usize]), v))
+                .collect();
+            nearest_out[u].sort_unstable();
+        }
+
+        // ---- Phase 2: admit shortest incoming offer per sector --------
+        // offers[u] = nodes v with u ∈ N(v) (v offered an edge to u).
+        let mut offers: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for (v, targets) in yao.iter().enumerate() {
+            for &(_, u) in nearest_out[v].iter() {
+                let _ = targets; // nearest_out[v] already holds N(v)
+                offers[u as usize].push(v as NodeId);
+            }
+        }
+
+        let mut admitted_in: Vec<Vec<(u32, NodeId)>> = vec![Vec::new(); n];
+        let mut best: Vec<Option<(f64, NodeId)>> = vec![None; k];
+        for u in 0..n {
+            for b in best.iter_mut() {
+                *b = None;
+            }
+            let pu = points[u];
+            for &v in &offers[u] {
+                let s = self.sectors.sector_of(pu, points[v as usize]) as usize;
+                let d = pu.dist_sq(points[v as usize]);
+                let better = match best[s] {
+                    None => true,
+                    Some((bd, bv)) => d < bd || (d == bd && v < bv),
+                };
+                if better {
+                    best[s] = Some((d, v));
+                }
+            }
+            admitted_in[u] = best
+                .iter()
+                .enumerate()
+                .filter_map(|(s, b)| b.map(|(_, v)| (s as u32, v)))
+                .collect();
+        }
+
+        // ---- Assemble 𝒩 ------------------------------------------------
+        let mut builder = GraphBuilder::new(n);
+        for (u, admits) in admitted_in.iter().enumerate() {
+            for &(_, v) in admits {
+                builder.add_edge(u as NodeId, v, points[u].dist(points[v as usize]));
+            }
+        }
+
+        ThetaTopology {
+            spatial: SpatialGraph::new(points.to_vec(), builder.build(), self.range),
+            sectors: self.sectors,
+            nearest_out,
+            admitted_in,
+        }
+    }
+}
+
+/// The topology `𝒩` produced by ΘALG, together with the per-node
+/// construction state that the θ-path replacement (Theorem 2.8) and the
+/// routing layer consult.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThetaTopology {
+    /// The topology `𝒩` with Euclidean edge weights.
+    pub spatial: SpatialGraph,
+    /// The sector partition the topology was built with.
+    pub sectors: SectorPartition,
+    /// Phase-1 state: `nearest_out[u]` = `N(u)` as `(sector, node)` pairs,
+    /// sorted by sector.
+    nearest_out: Vec<Vec<(u32, NodeId)>>,
+    /// Phase-2 state: `admitted_in[u]` = the admitted (shortest) incoming
+    /// offer per sector, as `(sector, node)` pairs sorted by sector.
+    admitted_in: Vec<Vec<(u32, NodeId)>>,
+}
+
+impl ThetaTopology {
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.spatial.len()
+    }
+
+    /// True iff the topology has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.spatial.is_empty()
+    }
+
+    /// `N(u)`: phase-1 nearest neighbor of `u` in sector `s`, if any.
+    pub fn nearest_in_sector(&self, u: NodeId, s: u32) -> Option<NodeId> {
+        self.nearest_out[u as usize]
+            .iter()
+            .find(|&&(sec, _)| sec == s)
+            .map(|&(_, v)| v)
+    }
+
+    /// Is `v ∈ N(u)` (did phase 1 point `u` at `v`)?
+    pub fn is_nearest_choice(&self, u: NodeId, v: NodeId) -> bool {
+        self.nearest_out[u as usize].iter().any(|&(_, w)| w == v)
+    }
+
+    /// The incoming edge `u` admitted in sector `s` during phase 2, if any.
+    pub fn admitted_in_sector(&self, u: NodeId, s: u32) -> Option<NodeId> {
+        self.admitted_in[u as usize]
+            .iter()
+            .find(|&&(sec, _)| sec == s)
+            .map(|&(_, v)| v)
+    }
+
+    /// All phase-1 choices of `u` (`N(u)`), with sector labels.
+    pub fn nearest_out(&self, u: NodeId) -> &[(u32, NodeId)] {
+        &self.nearest_out[u as usize]
+    }
+
+    /// All admitted incoming edges of `u`, with sector labels.
+    pub fn admitted_in(&self, u: NodeId) -> &[(u32, NodeId)] {
+        &self.admitted_in[u as usize]
+    }
+
+    /// The theoretical degree bound of Lemma 2.1: `4π/θ` = twice the
+    /// sector count.
+    pub fn degree_bound(&self) -> usize {
+        2 * self.sectors.count() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adhoc_graph::is_connected;
+    use adhoc_proximity::unit_disk_graph;
+    use rand::prelude::*;
+    use rand_chacha::ChaCha8Rng;
+    use std::f64::consts::FRAC_PI_3;
+
+    fn uniform(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new(rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect()
+    }
+
+    #[test]
+    #[should_panic]
+    fn theta_above_pi_over_3_rejected() {
+        ThetaAlg::new(1.5, 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_range_rejected() {
+        ThetaAlg::new(FRAC_PI_3, 0.0);
+    }
+
+    #[test]
+    fn accessors() {
+        let alg = ThetaAlg::new(FRAC_PI_3, 0.5);
+        assert_eq!(alg.sectors().count(), 6);
+        assert_eq!(alg.range(), 0.5);
+    }
+
+    #[test]
+    fn subgraph_of_yao_graph() {
+        // Phase 2 only removes edges: 𝒩 ⊆ 𝒩₁.
+        let points = uniform(150, 3);
+        let alg = ThetaAlg::new(FRAC_PI_3, 0.4);
+        let topo = alg.build(&points);
+        let yao = adhoc_proximity::yao_graph(&points, alg.sectors(), 0.4);
+        for (u, v, _) in topo.spatial.graph.edges() {
+            assert!(yao.graph.has_edge(u, v), "𝒩 edge ({u},{v}) not in 𝒩₁");
+        }
+    }
+
+    #[test]
+    fn lemma_2_1_degree_bound() {
+        // Degree ≤ 4π/θ = 2 · sector count, on several distributions.
+        for (n, seed) in [(100usize, 1u64), (400, 2), (800, 3)] {
+            let points = uniform(n, seed);
+            let alg = ThetaAlg::new(FRAC_PI_3, 10.0);
+            let topo = alg.build(&points);
+            assert!(
+                topo.spatial.graph.max_degree() <= topo.degree_bound(),
+                "degree {} exceeds bound {}",
+                topo.spatial.graph.max_degree(),
+                topo.degree_bound()
+            );
+        }
+    }
+
+    #[test]
+    fn lemma_2_1_connectivity() {
+        // 𝒩 is connected whenever G* is.
+        let points = uniform(200, 7);
+        let range = adhoc_geom::default_max_range(points.len());
+        let gstar = unit_disk_graph(&points, range);
+        assert!(is_connected(&gstar.graph), "test needs a connected G*");
+        let topo = ThetaAlg::new(FRAC_PI_3, range).build(&points);
+        assert!(is_connected(&topo.spatial.graph));
+    }
+
+    #[test]
+    fn ring_degree_bounded_unlike_yao() {
+        // The ring configuration gives the Yao graph's center high degree;
+        // phase 2 caps it at the Lemma 2.1 bound.
+        let n = 64;
+        let mut points = vec![Point::new(0.0, 0.0)];
+        for i in 0..n {
+            let a = i as f64 / n as f64 * std::f64::consts::TAU;
+            let r = 1.0 + 1e-6 * i as f64;
+            points.push(Point::new(r * a.cos(), r * a.sin()));
+        }
+        let alg = ThetaAlg::new(FRAC_PI_3, 10.0);
+        let topo = alg.build(&points);
+        assert!(topo.spatial.graph.degree(0) <= topo.degree_bound());
+        assert!(is_connected(&topo.spatial.graph));
+    }
+
+    #[test]
+    fn admitted_edges_are_offers() {
+        // Every admitted incoming edge (u ← v) must correspond to a
+        // phase-1 offer: u ∈ N(v).
+        let points = uniform(120, 11);
+        let topo = ThetaAlg::new(FRAC_PI_3, 0.5).build(&points);
+        for u in 0..points.len() as NodeId {
+            for &(s, v) in topo.admitted_in(u) {
+                assert!(topo.is_nearest_choice(v, u), "({v}→{u}) admitted but not offered");
+                assert_eq!(topo.sectors.sector_of(points[u as usize], points[v as usize]), s);
+            }
+        }
+    }
+
+    #[test]
+    fn admitted_is_shortest_offer_per_sector() {
+        let points = uniform(120, 13);
+        let topo = ThetaAlg::new(FRAC_PI_3, 0.5).build(&points);
+        let n = points.len();
+        // Recompute offers naively.
+        let mut offers: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for v in 0..n as NodeId {
+            for &(_, u) in topo.nearest_out(v) {
+                offers[u as usize].push(v);
+            }
+        }
+        for u in 0..n as NodeId {
+            for &(s, v) in topo.admitted_in(u) {
+                // No other offer in sector s may be strictly shorter.
+                for &w in &offers[u as usize] {
+                    if topo.sectors.sector_of(points[u as usize], points[w as usize]) == s {
+                        let dv = points[u as usize].dist_sq(points[v as usize]);
+                        let dw = points[u as usize].dist_sq(points[w as usize]);
+                        assert!(
+                            dv < dw || (dv == dw && v <= w),
+                            "node {u} sector {s}: admitted {v} but {w} is closer"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let alg = ThetaAlg::new(FRAC_PI_3, 1.0);
+        assert!(alg.build(&[]).is_empty());
+        let one = alg.build(&[Point::ORIGIN]);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one.spatial.graph.num_edges(), 0);
+        let two = alg.build(&[Point::ORIGIN, Point::new(0.5, 0.0)]);
+        assert_eq!(two.spatial.graph.num_edges(), 1);
+    }
+
+    #[test]
+    fn deterministic_under_tie_breaks() {
+        // Symmetric square: all pairwise ties must resolve identically on
+        // repeated runs.
+        let points = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 1.0),
+            Point::new(1.0, 1.0),
+        ];
+        let alg = ThetaAlg::new(FRAC_PI_3, 10.0);
+        let a = alg.build(&points);
+        let b = alg.build(&points);
+        assert_eq!(a.spatial.graph, b.spatial.graph);
+        assert!(is_connected(&a.spatial.graph));
+    }
+
+    #[test]
+    fn smaller_theta_gives_higher_bound_and_stays_connected() {
+        let points = uniform(150, 17);
+        for theta in [FRAC_PI_3, FRAC_PI_3 / 2.0, FRAC_PI_3 / 3.0] {
+            let topo = ThetaAlg::new(theta, 10.0).build(&points);
+            assert!(topo.spatial.graph.max_degree() <= topo.degree_bound());
+            assert!(is_connected(&topo.spatial.graph));
+        }
+    }
+
+    #[test]
+    fn nearest_in_sector_lookup_consistent() {
+        let points = uniform(60, 19);
+        let topo = ThetaAlg::new(FRAC_PI_3, 10.0).build(&points);
+        for u in 0..points.len() as NodeId {
+            for &(s, v) in topo.nearest_out(u) {
+                assert_eq!(topo.nearest_in_sector(u, s), Some(v));
+            }
+            assert_eq!(topo.nearest_in_sector(u, 999), None);
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Verifiers for Lemma 2.1: `𝒩` is connected and every node's degree is
+//! at most `4π/θ`. Experiment E1 sweeps these checks across sizes,
+//! angles and distributions.
+
+use crate::theta::ThetaTopology;
+use adhoc_graph::is_connected;
+use serde::{Deserialize, Serialize};
+
+/// The Lemma 2.1 degree bound `⌈4π/θ⌉` for a sector angle `theta`.
+///
+/// Since [`adhoc_geom::SectorPartition`] rounds the sector count up to
+/// `k = ⌈2π/θ⌉`, the realized bound is `2k ≥ 4π/θ`.
+pub fn degree_bound(theta: f64) -> usize {
+    assert!(theta > 0.0, "θ must be positive");
+    2 * (std::f64::consts::TAU / theta).ceil() as usize
+}
+
+/// Outcome of checking Lemma 2.1 on a concrete topology.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Lemma21Report {
+    /// Is `𝒩` connected? (Meaningful only when `G*` was connected.)
+    pub connected: bool,
+    /// Observed maximum degree.
+    pub max_degree: usize,
+    /// The theoretical bound `4π/θ`.
+    pub bound: usize,
+    /// Average degree (= `2m/n`), for the sparsity report.
+    pub avg_degree: f64,
+}
+
+impl Lemma21Report {
+    /// Both halves of the lemma hold.
+    pub fn holds(&self) -> bool {
+        self.connected && self.max_degree <= self.bound
+    }
+}
+
+/// Check Lemma 2.1 on a built topology.
+pub fn verify_lemma_2_1(topo: &ThetaTopology) -> Lemma21Report {
+    let g = &topo.spatial.graph;
+    let n = g.num_nodes();
+    Lemma21Report {
+        connected: is_connected(g),
+        max_degree: g.max_degree(),
+        bound: topo.degree_bound(),
+        avg_degree: if n == 0 {
+            0.0
+        } else {
+            2.0 * g.num_edges() as f64 / n as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::theta::ThetaAlg;
+    use adhoc_geom::distributions::NodeDistribution;
+    use adhoc_geom::Point;
+    use rand::prelude::*;
+    use rand_chacha::ChaCha8Rng;
+    use std::f64::consts::{FRAC_PI_3, PI};
+
+    #[test]
+    fn bound_values() {
+        assert_eq!(degree_bound(FRAC_PI_3), 12); // 4π/(π/3) = 12
+        assert_eq!(degree_bound(PI / 6.0), 24);
+        assert_eq!(degree_bound(PI / 9.0), 36);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bound_rejects_zero() {
+        degree_bound(0.0);
+    }
+
+    #[test]
+    fn lemma_holds_across_distributions() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let dists = [
+            NodeDistribution::unit_square(),
+            NodeDistribution::Clustered {
+                clusters: 5,
+                sigma: 0.02,
+            },
+            NodeDistribution::GridJitter { jitter: 0.3 },
+            NodeDistribution::Civilized { lambda: 0.03 },
+            NodeDistribution::Ring { radius: 0.45 },
+        ];
+        for dist in dists {
+            let points = dist.sample(150, &mut rng).unwrap();
+            // Full range: G* is complete hence connected.
+            let topo = ThetaAlg::new(FRAC_PI_3, 10.0).build(&points);
+            let report = verify_lemma_2_1(&topo);
+            assert!(
+                report.holds(),
+                "Lemma 2.1 failed on {}: {report:?}",
+                dist.label()
+            );
+        }
+    }
+
+    #[test]
+    fn lemma_holds_on_exponential_chain() {
+        // Highly non-civilized 1-D input.
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let points = NodeDistribution::ExponentialChain {
+            base: 0.001,
+            growth: 1.5,
+        }
+        .sample(30, &mut rng)
+        .unwrap();
+        let span = points.last().unwrap().x - points[0].x;
+        let topo = ThetaAlg::new(FRAC_PI_3, span * 2.0).build(&points);
+        let report = verify_lemma_2_1(&topo);
+        assert!(report.holds(), "{report:?}");
+    }
+
+    #[test]
+    fn report_fields_consistent() {
+        let points: Vec<Point> = {
+            let mut rng = ChaCha8Rng::seed_from_u64(3);
+            (0..50)
+                .map(|_| Point::new(rng.gen::<f64>(), rng.gen::<f64>()))
+                .collect()
+        };
+        let topo = ThetaAlg::new(FRAC_PI_3, 10.0).build(&points);
+        let report = verify_lemma_2_1(&topo);
+        assert!(report.avg_degree <= report.max_degree as f64 + 1e-12);
+        assert!(report.avg_degree >= 1.0); // connected graph: m ≥ n-1
+        assert_eq!(report.bound, 12);
+    }
+
+    #[test]
+    fn empty_topology_report() {
+        let topo = ThetaAlg::new(FRAC_PI_3, 1.0).build(&[]);
+        let report = verify_lemma_2_1(&topo);
+        assert!(report.connected); // vacuously
+        assert_eq!(report.max_degree, 0);
+        assert_eq!(report.avg_degree, 0.0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Angle arithmetic on the circle `[0, 2π)`.
+//!
+//! ΘALG partitions the plane around each node into sectors of a fixed angle
+//! `θ`; all of that arithmetic bottoms out in the helpers here.
+
+/// `2π`.
+pub const TAU: f64 = std::f64::consts::TAU;
+
+/// Normalize an angle into `[0, 2π)`.
+#[inline]
+pub fn normalize_angle(a: f64) -> f64 {
+    let mut r = a % TAU;
+    if r < 0.0 {
+        r += TAU;
+    }
+    // `-1e-18 % TAU` can round to TAU itself; clamp back into range.
+    if r >= TAU {
+        r -= TAU;
+    }
+    r
+}
+
+/// Smallest absolute angular difference between two angles, in `[0, π]`.
+#[inline]
+pub fn angle_between(a: f64, b: f64) -> f64 {
+    let d = normalize_angle(a - b);
+    d.min(TAU - d)
+}
+
+/// Counterclockwise angular distance from `from` to `to`, in `[0, 2π)`.
+#[inline]
+pub fn ccw_distance(from: f64, to: f64) -> f64 {
+    normalize_angle(to - from)
+}
+
+/// True iff angle `a` lies in the counterclockwise interval `[lo, lo + width)`.
+#[inline]
+pub fn in_ccw_interval(a: f64, lo: f64, width: f64) -> bool {
+    ccw_distance(lo, a) < width
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn normalize_basics() {
+        assert_eq!(normalize_angle(0.0), 0.0);
+        assert!((normalize_angle(TAU) - 0.0).abs() < 1e-15);
+        assert!((normalize_angle(-PI / 2.0) - 1.5 * PI).abs() < 1e-12);
+        assert!((normalize_angle(5.0 * TAU + 1.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalize_never_returns_tau() {
+        for a in [-1e-18, -1e-12, TAU - 1e-18, -TAU, 7.0 * TAU] {
+            let r = normalize_angle(a);
+            assert!((0.0..TAU).contains(&r), "a={a} -> {r}");
+        }
+    }
+
+    #[test]
+    fn angle_between_symmetry_and_range() {
+        for (a, b) in [(0.0, PI), (0.1, TAU - 0.1), (3.0, 3.0), (1.0, 2.5)] {
+            let d1 = angle_between(a, b);
+            let d2 = angle_between(b, a);
+            assert!((d1 - d2).abs() < 1e-12);
+            assert!((0.0..=PI).contains(&d1));
+        }
+        assert!((angle_between(0.1, TAU - 0.1) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ccw_distance_wraps() {
+        assert!((ccw_distance(1.5 * PI, 0.5 * PI) - PI).abs() < 1e-12);
+        assert!((ccw_distance(0.1, TAU - 0.1) - (TAU - 0.2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interval_membership() {
+        assert!(in_ccw_interval(0.1, 0.0, 0.2));
+        assert!(!in_ccw_interval(0.3, 0.0, 0.2));
+        // interval straddling 0
+        assert!(in_ccw_interval(0.05, TAU - 0.1, 0.2));
+        assert!(in_ccw_interval(TAU - 0.05, TAU - 0.1, 0.2));
+        // half-open: lower bound in, upper bound out
+        assert!(in_ccw_interval(0.0, 0.0, 0.2));
+        assert!(!in_ccw_interval(0.2, 0.0, 0.2));
+    }
+}

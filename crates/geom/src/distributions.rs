@@ -1,0 +1,341 @@
+//! Seeded synthetic node distributions.
+//!
+//! The paper's guarantees are distribution-free (Theorem 2.2 holds "for any
+//! distribution of nodes in the 2-dimensional Euclidean plane"), so the
+//! experiment suite exercises ΘALG across qualitatively different point
+//! processes:
+//!
+//! * [`NodeDistribution::UniformSquare`] — the model of Lemma 2.10 /
+//!   Corollary 3.5 (uniform random in a unit square).
+//! * [`NodeDistribution::Clustered`] — Gaussian blobs; stresses the
+//!   non-civilized regime (huge ratio of max/min edge length).
+//! * [`NodeDistribution::GridJitter`] — perturbed lattice, a standard
+//!   sensor-deployment model.
+//! * [`NodeDistribution::Civilized`] — λ-precision point sets (minimum
+//!   pairwise separation), the model of Theorem 2.7.
+//! * [`NodeDistribution::ExponentialChain`] — adversarial 1-D chain with
+//!   exponentially growing gaps: the classic worst case for proximity
+//!   graphs and for naive k-nearest-neighbor topologies.
+//! * [`NodeDistribution::Ring`] — nodes on a circle, maximizing Yao
+//!   in-degree asymmetries.
+//!
+//! Every sampler takes an explicit RNG so experiments are reproducible from
+//! a recorded seed.
+
+use crate::point::Point;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A synthetic node distribution over (a region of) the plane.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum NodeDistribution {
+    /// `n` i.i.d. uniform points in the `side × side` square.
+    UniformSquare { side: f64 },
+    /// `k` Gaussian clusters with standard deviation `sigma`, cluster
+    /// centers uniform in the unit square; points assigned round-robin.
+    Clustered { clusters: usize, sigma: f64 },
+    /// `⌈√n⌉ × ⌈√n⌉` lattice over the unit square, each point jittered
+    /// uniformly by up to `jitter` of the lattice spacing.
+    GridJitter { jitter: f64 },
+    /// λ-precision set in the unit square: minimum pairwise distance
+    /// `lambda`. Sampled by dart throwing with a conflict grid, so the
+    /// requested `n` must satisfy `n · λ² ≲ 1` or sampling fails.
+    Civilized { lambda: f64 },
+    /// Points on a line with gaps growing by factor `growth ≥ 1`
+    /// starting from `base`.
+    ExponentialChain { base: f64, growth: f64 },
+    /// `n` points evenly spaced on a circle of radius `radius`, plus the
+    /// center point.
+    Ring { radius: f64 },
+}
+
+/// Errors from sampling a distribution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SampleError {
+    /// A Civilized sample could not place `n` points at separation λ.
+    PackingTooDense,
+}
+
+impl std::fmt::Display for SampleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SampleError::PackingTooDense => {
+                write!(f, "cannot place that many λ-separated points in the unit square")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SampleError {}
+
+impl NodeDistribution {
+    /// Sample `n` points. Deterministic given the RNG state.
+    pub fn sample<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Result<Vec<Point>, SampleError> {
+        match *self {
+            NodeDistribution::UniformSquare { side } => Ok((0..n)
+                .map(|_| Point::new(rng.gen::<f64>() * side, rng.gen::<f64>() * side))
+                .collect()),
+            NodeDistribution::Clustered { clusters, sigma } => {
+                let k = clusters.max(1);
+                let centers: Vec<Point> = (0..k)
+                    .map(|_| Point::new(rng.gen::<f64>(), rng.gen::<f64>()))
+                    .collect();
+                Ok((0..n)
+                    .map(|i| {
+                        let c = centers[i % k];
+                        Point::new(c.x + gaussian(rng) * sigma, c.y + gaussian(rng) * sigma)
+                    })
+                    .collect())
+            }
+            NodeDistribution::GridJitter { jitter } => {
+                let cols = (n as f64).sqrt().ceil() as usize;
+                let spacing = 1.0 / cols as f64;
+                let j = jitter.clamp(0.0, 0.499) * spacing;
+                Ok((0..n)
+                    .map(|i| {
+                        let cx = (i % cols) as f64 * spacing + 0.5 * spacing;
+                        let cy = (i / cols) as f64 * spacing + 0.5 * spacing;
+                        Point::new(
+                            cx + rng.gen_range(-1.0..1.0) * j,
+                            cy + rng.gen_range(-1.0..1.0) * j,
+                        )
+                    })
+                    .collect())
+            }
+            NodeDistribution::Civilized { lambda } => sample_civilized(n, lambda, rng),
+            NodeDistribution::ExponentialChain { base, growth } => {
+                let mut x = 0.0;
+                let mut gap = base.max(1e-9);
+                let g = growth.max(1.0);
+                Ok((0..n)
+                    .map(|_| {
+                        let p = Point::new(x, 0.0);
+                        x += gap;
+                        gap *= g;
+                        p
+                    })
+                    .collect())
+            }
+            NodeDistribution::Ring { radius } => {
+                if n == 0 {
+                    return Ok(Vec::new());
+                }
+                let mut pts = Vec::with_capacity(n);
+                pts.push(Point::new(0.5, 0.5));
+                let m = n - 1;
+                for i in 0..m {
+                    let a = i as f64 / m.max(1) as f64 * std::f64::consts::TAU;
+                    pts.push(Point::new(0.5 + radius * a.cos(), 0.5 + radius * a.sin()));
+                }
+                Ok(pts)
+            }
+        }
+    }
+
+    /// Convenience: the canonical unit-square uniform distribution.
+    pub fn unit_square() -> Self {
+        NodeDistribution::UniformSquare { side: 1.0 }
+    }
+
+    /// A short machine-friendly label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            NodeDistribution::UniformSquare { .. } => "uniform",
+            NodeDistribution::Clustered { .. } => "clustered",
+            NodeDistribution::GridJitter { .. } => "grid-jitter",
+            NodeDistribution::Civilized { .. } => "civilized",
+            NodeDistribution::ExponentialChain { .. } => "exp-chain",
+            NodeDistribution::Ring { .. } => "ring",
+        }
+    }
+}
+
+/// Standard normal via Box–Muller (avoids a rand_distr dependency).
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen::<f64>();
+        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    }
+}
+
+/// Dart-throwing sampler for λ-precision sets with a conflict grid.
+fn sample_civilized<R: Rng + ?Sized>(
+    n: usize,
+    lambda: f64,
+    rng: &mut R,
+) -> Result<Vec<Point>, SampleError> {
+    assert!(lambda > 0.0, "λ must be positive");
+    // Area argument: n disjoint disks of radius λ/2 need area ~ n·π·λ²/4.
+    if n as f64 * lambda * lambda > 2.0 {
+        return Err(SampleError::PackingTooDense);
+    }
+    let cols = (1.0 / lambda).ceil() as usize + 1;
+    let mut grid: Vec<Vec<Point>> = vec![Vec::new(); cols * cols];
+    let cell_of = |p: Point| -> (usize, usize) {
+        (
+            ((p.x / lambda) as usize).min(cols - 1),
+            ((p.y / lambda) as usize).min(cols - 1),
+        )
+    };
+    let mut pts: Vec<Point> = Vec::with_capacity(n);
+    let max_attempts = 200 * n.max(32);
+    let mut attempts = 0usize;
+    while pts.len() < n {
+        attempts += 1;
+        if attempts > max_attempts {
+            return Err(SampleError::PackingTooDense);
+        }
+        let cand = Point::new(rng.gen::<f64>(), rng.gen::<f64>());
+        let (cx, cy) = cell_of(cand);
+        let mut ok = true;
+        'scan: for gy in cy.saturating_sub(1)..=(cy + 1).min(cols - 1) {
+            for gx in cx.saturating_sub(1)..=(cx + 1).min(cols - 1) {
+                for &p in &grid[gy * cols + gx] {
+                    if p.dist_sq(cand) < lambda * lambda {
+                        ok = false;
+                        break 'scan;
+                    }
+                }
+            }
+        }
+        if ok {
+            grid[cy * cols + cx].push(cand);
+            pts.push(cand);
+        }
+    }
+    Ok(pts)
+}
+
+/// Verify that a point set is λ-precision (minimum pairwise distance ≥ λ).
+pub fn is_lambda_precision(points: &[Point], lambda: f64) -> bool {
+    for i in 0..points.len() {
+        for j in (i + 1)..points.len() {
+            if points[i].dist_sq(points[j]) < lambda * lambda {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn uniform_in_bounds_and_deterministic() {
+        let d = NodeDistribution::UniformSquare { side: 2.0 };
+        let a = d.sample(100, &mut rng(1)).unwrap();
+        let b = d.sample(100, &mut rng(1)).unwrap();
+        assert_eq!(a, b);
+        assert!(a.iter().all(|p| (0.0..=2.0).contains(&p.x) && (0.0..=2.0).contains(&p.y)));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let d = NodeDistribution::unit_square();
+        let a = d.sample(50, &mut rng(1)).unwrap();
+        let b = d.sample(50, &mut rng(2)).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn clustered_centers_count() {
+        let d = NodeDistribution::Clustered { clusters: 4, sigma: 0.01 };
+        let pts = d.sample(200, &mut rng(3)).unwrap();
+        assert_eq!(pts.len(), 200);
+        // With tiny sigma, points form 4 tight groups: check pairwise
+        // distances within a residue class mod 4 are small.
+        for i in (0..200).step_by(4) {
+            assert!(pts[i].dist(pts[(i + 4) % 200]) < 0.2);
+        }
+    }
+
+    #[test]
+    fn grid_jitter_stays_in_unit_square_margin() {
+        let d = NodeDistribution::GridJitter { jitter: 0.4 };
+        let pts = d.sample(100, &mut rng(4)).unwrap();
+        assert_eq!(pts.len(), 100);
+        assert!(pts
+            .iter()
+            .all(|p| (-0.05..=1.05).contains(&p.x) && (-0.05..=1.05).contains(&p.y)));
+    }
+
+    #[test]
+    fn civilized_respects_lambda() {
+        let lambda = 0.04;
+        let d = NodeDistribution::Civilized { lambda };
+        let pts = d.sample(200, &mut rng(5)).unwrap();
+        assert_eq!(pts.len(), 200);
+        assert!(is_lambda_precision(&pts, lambda));
+    }
+
+    #[test]
+    fn civilized_too_dense_fails() {
+        let d = NodeDistribution::Civilized { lambda: 0.5 };
+        assert_eq!(
+            d.sample(1000, &mut rng(6)).unwrap_err(),
+            SampleError::PackingTooDense
+        );
+    }
+
+    #[test]
+    fn exponential_chain_gaps_grow() {
+        let d = NodeDistribution::ExponentialChain { base: 1.0, growth: 2.0 };
+        let pts = d.sample(5, &mut rng(7)).unwrap();
+        let gaps: Vec<f64> = pts.windows(2).map(|w| w[1].x - w[0].x).collect();
+        assert_eq!(gaps, vec![1.0, 2.0, 4.0, 8.0]);
+        assert!(pts.iter().all(|p| p.y == 0.0));
+    }
+
+    #[test]
+    fn ring_has_center_and_circle() {
+        let d = NodeDistribution::Ring { radius: 0.4 };
+        let pts = d.sample(33, &mut rng(8)).unwrap();
+        assert_eq!(pts.len(), 33);
+        let center = pts[0];
+        for p in &pts[1..] {
+            assert!((p.dist(center) - 0.4).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ring_zero_and_one() {
+        let d = NodeDistribution::Ring { radius: 0.4 };
+        assert!(d.sample(0, &mut rng(9)).unwrap().is_empty());
+        assert_eq!(d.sample(1, &mut rng(9)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(NodeDistribution::unit_square().label(), "uniform");
+        assert_eq!(
+            NodeDistribution::Civilized { lambda: 0.1 }.label(),
+            "civilized"
+        );
+    }
+
+    // serde round-trip of NodeDistribution is exercised end-to-end in the
+    // sim crate's ScenarioConfig tests (serde_json lives there).
+
+    #[test]
+    fn gaussian_moments_sane() {
+        let mut r = rng(10);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+}

@@ -1,0 +1,315 @@
+//! Uniform-grid spatial index.
+//!
+//! The reproduction repeatedly needs "all nodes within distance `r` of `p`"
+//! (building the transmission graph `G*`, interference sets, honeycomb
+//! candidate pairs). A uniform grid with cell size equal to the query radius
+//! answers such queries in expected `O(1 + k)` for bounded-density inputs,
+//! which keeps every experiment near-linear instead of `O(n²)`.
+
+use crate::point::Point;
+
+/// A uniform-grid index over a fixed point set.
+///
+/// The grid is built once for a query radius `cell`; range queries with
+/// radius `≤ cell` examine only the 3×3 neighborhood of the query cell.
+/// Larger radii are still correct (the neighborhood widens accordingly).
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    points: Vec<Point>,
+    cell: f64,
+    min_x: f64,
+    min_y: f64,
+    cols: usize,
+    rows: usize,
+    /// CSR layout: `cell_start[c]..cell_start[c+1]` indexes into `order`.
+    cell_start: Vec<u32>,
+    order: Vec<u32>,
+}
+
+impl GridIndex {
+    /// Build an index over `points` with grid cell size `cell` (> 0).
+    ///
+    /// # Panics
+    /// Panics if `cell` is not strictly positive and finite.
+    pub fn build(points: &[Point], cell: f64) -> Self {
+        assert!(
+            cell.is_finite() && cell > 0.0,
+            "cell size must be positive and finite, got {cell}"
+        );
+        if points.is_empty() {
+            return GridIndex {
+                points: Vec::new(),
+                cell,
+                min_x: 0.0,
+                min_y: 0.0,
+                cols: 1,
+                rows: 1,
+                cell_start: vec![0, 0],
+                order: Vec::new(),
+            };
+        }
+        let mut min_x = f64::INFINITY;
+        let mut min_y = f64::INFINITY;
+        let mut max_x = f64::NEG_INFINITY;
+        let mut max_y = f64::NEG_INFINITY;
+        for p in points {
+            min_x = min_x.min(p.x);
+            min_y = min_y.min(p.y);
+            max_x = max_x.max(p.x);
+            max_y = max_y.max(p.y);
+        }
+        let cols = (((max_x - min_x) / cell).floor() as usize + 1).max(1);
+        let rows = (((max_y - min_y) / cell).floor() as usize + 1).max(1);
+
+        // Counting sort into cells (CSR build, no per-cell Vec allocations).
+        let ncells = cols * rows;
+        let mut counts = vec![0u32; ncells + 1];
+        let cell_of = |p: &Point| -> usize {
+            let cx = (((p.x - min_x) / cell) as usize).min(cols - 1);
+            let cy = (((p.y - min_y) / cell) as usize).min(rows - 1);
+            cy * cols + cx
+        };
+        for p in points {
+            counts[cell_of(p) + 1] += 1;
+        }
+        for i in 0..ncells {
+            counts[i + 1] += counts[i];
+        }
+        let cell_start = counts.clone();
+        let mut cursor = counts;
+        let mut order = vec![0u32; points.len()];
+        for (i, p) in points.iter().enumerate() {
+            let c = cell_of(p);
+            order[cursor[c] as usize] = i as u32;
+            cursor[c] += 1;
+        }
+
+        GridIndex {
+            points: points.to_vec(),
+            cell,
+            min_x,
+            min_y,
+            cols,
+            rows,
+            cell_start,
+            order,
+        }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True iff the index holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The indexed points, in original order.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// Visit the indices of all points within distance `r` of `q`
+    /// (inclusive), excluding none. Indices refer to the original slice.
+    pub fn for_each_within<F: FnMut(u32)>(&self, q: Point, r: f64, mut f: F) {
+        if self.points.is_empty() {
+            return;
+        }
+        let r2 = r * r;
+        let reach = (r / self.cell).ceil() as isize;
+        let qcx = ((q.x - self.min_x) / self.cell).floor() as isize;
+        let qcy = ((q.y - self.min_y) / self.cell).floor() as isize;
+        for cy in (qcy - reach).max(0)..=(qcy + reach).min(self.rows as isize - 1) {
+            for cx in (qcx - reach).max(0)..=(qcx + reach).min(self.cols as isize - 1) {
+                let c = cy as usize * self.cols + cx as usize;
+                let lo = self.cell_start[c] as usize;
+                let hi = self.cell_start[c + 1] as usize;
+                for &i in &self.order[lo..hi] {
+                    if self.points[i as usize].dist_sq(q) <= r2 {
+                        f(i);
+                    }
+                }
+            }
+        }
+    }
+
+    /// All indices within distance `r` of `q` (inclusive), as a Vec.
+    pub fn within(&self, q: Point, r: f64) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.for_each_within(q, r, |i| out.push(i));
+        out
+    }
+
+    /// Indices of all *other* points within distance `r` of point `i`.
+    pub fn neighbors_of(&self, i: u32, r: f64) -> Vec<u32> {
+        let q = self.points[i as usize];
+        let mut out = Vec::new();
+        self.for_each_within(q, r, |j| {
+            if j != i {
+                out.push(j);
+            }
+        });
+        out
+    }
+
+    /// Nearest indexed point to `q` other than `exclude` (pass `u32::MAX`
+    /// to exclude none). Returns `None` if the index is empty or holds only
+    /// the excluded point. Falls back to widening ring search.
+    pub fn nearest(&self, q: Point, exclude: u32) -> Option<u32> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let mut radius = self.cell;
+        let diag = {
+            let w = self.cols as f64 * self.cell;
+            let h = self.rows as f64 * self.cell;
+            (w * w + h * h).sqrt() + self.cell
+        };
+        loop {
+            let mut best: Option<(f64, u32)> = None;
+            self.for_each_within(q, radius, |i| {
+                if i == exclude {
+                    return;
+                }
+                let d2 = self.points[i as usize].dist_sq(q);
+                if best.is_none_or(|(bd, _)| d2 < bd) {
+                    best = Some((d2, i));
+                }
+            });
+            if let Some((d2, i)) = best {
+                // The ring search may have missed a closer point just outside
+                // `radius` cells but within true distance; re-verify.
+                if d2.sqrt() <= radius || radius > diag {
+                    return Some(i);
+                }
+            }
+            if radius > diag {
+                return best.map(|(_, i)| i);
+            }
+            radius *= 2.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new(rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect()
+    }
+
+    fn brute_within(points: &[Point], q: Point, r: f64) -> Vec<u32> {
+        let mut v: Vec<u32> = (0..points.len() as u32)
+            .filter(|&i| points[i as usize].dist(q) <= r)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn empty_index() {
+        let g = GridIndex::build(&[], 0.1);
+        assert!(g.is_empty());
+        assert_eq!(g.within(Point::ORIGIN, 10.0), Vec::<u32>::new());
+        assert_eq!(g.nearest(Point::ORIGIN, u32::MAX), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_cell_panics() {
+        GridIndex::build(&[Point::ORIGIN], 0.0);
+    }
+
+    #[test]
+    fn within_matches_brute_force() {
+        let pts = random_points(300, 42);
+        let g = GridIndex::build(&pts, 0.1);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..50 {
+            let q = Point::new(rng.gen::<f64>(), rng.gen::<f64>());
+            let r = rng.gen_range(0.01..0.4);
+            let mut got = g.within(q, r);
+            got.sort_unstable();
+            assert_eq!(got, brute_within(&pts, q, r));
+        }
+    }
+
+    #[test]
+    fn within_radius_larger_than_cell() {
+        let pts = random_points(200, 3);
+        let g = GridIndex::build(&pts, 0.05);
+        let q = Point::new(0.5, 0.5);
+        let mut got = g.within(q, 0.6);
+        got.sort_unstable();
+        assert_eq!(got, brute_within(&pts, q, 0.6));
+    }
+
+    #[test]
+    fn neighbors_excludes_self() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.05, 0.0),
+            Point::new(1.0, 1.0),
+        ];
+        let g = GridIndex::build(&pts, 0.1);
+        let nb = g.neighbors_of(0, 0.1);
+        assert_eq!(nb, vec![1]);
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let pts = random_points(150, 11);
+        let g = GridIndex::build(&pts, 0.08);
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        for _ in 0..40 {
+            let q = Point::new(rng.gen_range(-0.2..1.2), rng.gen_range(-0.2..1.2));
+            let got = g.nearest(q, u32::MAX).unwrap();
+            let best = (0..pts.len() as u32)
+                .min_by(|&a, &b| {
+                    pts[a as usize]
+                        .dist_sq(q)
+                        .partial_cmp(&pts[b as usize].dist_sq(q))
+                        .unwrap()
+                })
+                .unwrap();
+            assert!(
+                (pts[got as usize].dist(q) - pts[best as usize].dist(q)).abs() < 1e-12,
+                "nearest mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn nearest_respects_exclusion() {
+        let pts = vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)];
+        let g = GridIndex::build(&pts, 0.5);
+        assert_eq!(g.nearest(Point::new(0.1, 0.0), 0), Some(1));
+    }
+
+    #[test]
+    fn degenerate_all_same_point() {
+        let pts = vec![Point::new(0.5, 0.5); 10];
+        let g = GridIndex::build(&pts, 0.1);
+        assert_eq!(g.within(Point::new(0.5, 0.5), 0.0).len(), 10);
+        assert_eq!(g.neighbors_of(3, 1.0).len(), 9);
+    }
+
+    #[test]
+    fn points_on_cell_boundaries() {
+        // Points exactly on grid lines must not be lost to rounding.
+        let pts: Vec<Point> = (0..11)
+            .flat_map(|i| (0..11).map(move |j| Point::new(i as f64 * 0.1, j as f64 * 0.1)))
+            .collect();
+        let g = GridIndex::build(&pts, 0.1);
+        let all = g.within(Point::new(0.5, 0.5), 2.0);
+        assert_eq!(all.len(), pts.len());
+    }
+}

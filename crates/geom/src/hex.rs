@@ -1,0 +1,257 @@
+//! Honeycomb (hexagonal) tiling of the plane — paper Figure 5.
+//!
+//! The fixed-transmission-strength algorithm of §3.4 partitions the plane
+//! into hexagons of **side length `3 + 2Δ`** (hence corner-to-corner
+//! diameter `2(3 + 2Δ)`). Each sender–receiver pair `(s, t)` is assigned to
+//! the hexagon containing `s`; within each hexagon only the max-benefit
+//! pair may contest the channel, which is how the honeycomb algorithm
+//! bounds interference (Lemmas 3.6 and 3.7).
+//!
+//! We use pointy-top hexagons in axial coordinates with the standard
+//! cube-rounding point assignment, which makes the tiling an exact
+//! partition (every point maps to exactly one hexagon).
+
+use crate::point::Point;
+use serde::{Deserialize, Serialize};
+
+/// Axial coordinate of a hexagon in the tiling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct HexCoord {
+    pub q: i32,
+    pub r: i32,
+}
+
+impl HexCoord {
+    pub const fn new(q: i32, r: i32) -> Self {
+        HexCoord { q, r }
+    }
+
+    /// The six axial neighbor offsets.
+    pub const DIRECTIONS: [HexCoord; 6] = [
+        HexCoord::new(1, 0),
+        HexCoord::new(1, -1),
+        HexCoord::new(0, -1),
+        HexCoord::new(-1, 0),
+        HexCoord::new(-1, 1),
+        HexCoord::new(0, 1),
+    ];
+
+    /// The six adjacent hexagons.
+    pub fn neighbors(&self) -> [HexCoord; 6] {
+        let mut out = [*self; 6];
+        for (o, d) in out.iter_mut().zip(Self::DIRECTIONS.iter()) {
+            o.q += d.q;
+            o.r += d.r;
+        }
+        out
+    }
+
+    /// Hex-grid (cube) distance between two cells.
+    pub fn hex_distance(&self, other: HexCoord) -> u32 {
+        let dq = (self.q - other.q) as i64;
+        let dr = (self.r - other.r) as i64;
+        let ds = -(dq + dr);
+        (dq.abs().max(dr.abs()).max(ds.abs())) as u32
+    }
+}
+
+/// The honeycomb tiling with a given hexagon side length.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HexGrid {
+    /// Hexagon side length (= circumradius). The paper uses `3 + 2Δ`.
+    side: f64,
+}
+
+impl HexGrid {
+    /// Tiling with hexagons of the given side length.
+    ///
+    /// # Panics
+    /// Panics unless `side` is positive and finite.
+    pub fn new(side: f64) -> Self {
+        assert!(
+            side.is_finite() && side > 0.0,
+            "hexagon side must be positive, got {side}"
+        );
+        HexGrid { side }
+    }
+
+    /// The tiling prescribed by the paper for guard-zone parameter `Δ`:
+    /// hexagons of side `3 + 2Δ`.
+    pub fn for_guard_zone(delta: f64) -> Self {
+        assert!(delta >= 0.0, "guard zone Δ must be non-negative");
+        HexGrid::new(3.0 + 2.0 * delta)
+    }
+
+    /// Hexagon side length.
+    #[inline]
+    pub fn side(&self) -> f64 {
+        self.side
+    }
+
+    /// Corner-to-corner diameter `2 · side`.
+    #[inline]
+    pub fn diameter(&self) -> f64 {
+        2.0 * self.side
+    }
+
+    /// The hexagon containing point `p`. Exact partition: boundary points
+    /// are assigned deterministically via cube rounding.
+    pub fn hex_of(&self, p: Point) -> HexCoord {
+        let s = self.side;
+        let qf = (3f64.sqrt() / 3.0 * p.x - 1.0 / 3.0 * p.y) / s;
+        let rf = (2.0 / 3.0 * p.y) / s;
+        cube_round(qf, rf)
+    }
+
+    /// Center point of hexagon `h`.
+    pub fn center(&self, h: HexCoord) -> Point {
+        let s = self.side;
+        Point::new(
+            s * (3f64.sqrt() * h.q as f64 + 3f64.sqrt() / 2.0 * h.r as f64),
+            s * (1.5 * h.r as f64),
+        )
+    }
+
+    /// Minimum possible Euclidean distance between a point in hexagon `a`
+    /// and a point in hexagon `b` is positive whenever the cells are not
+    /// adjacent; this helper gives the center distance, used for the
+    /// independence argument of Lemma 3.7.
+    pub fn center_distance(&self, a: HexCoord, b: HexCoord) -> f64 {
+        self.center(a).dist(self.center(b))
+    }
+}
+
+/// Standard cube rounding of fractional axial coordinates.
+fn cube_round(qf: f64, rf: f64) -> HexCoord {
+    let sf = -qf - rf;
+    let mut q = qf.round();
+    let mut r = rf.round();
+    let s = sf.round();
+    let dq = (q - qf).abs();
+    let dr = (r - rf).abs();
+    let ds = (s - sf).abs();
+    if dq > dr && dq > ds {
+        q = -r - s;
+    } else if dr > ds {
+        r = -q - s;
+    }
+    HexCoord::new(q as i32, r as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn paper_dimensions() {
+        let g = HexGrid::for_guard_zone(0.5);
+        assert_eq!(g.side(), 4.0);
+        assert_eq!(g.diameter(), 8.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn nonpositive_side_panics() {
+        HexGrid::new(-1.0);
+    }
+
+    #[test]
+    fn center_roundtrip() {
+        let g = HexGrid::new(2.5);
+        for q in -5..=5 {
+            for r in -5..=5 {
+                let h = HexCoord::new(q, r);
+                assert_eq!(g.hex_of(g.center(h)), h, "roundtrip failed for {h:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_point_has_exactly_one_hex() {
+        // Partition property: assignment is a total function (trivially) and
+        // points near the center of a cell map to that cell.
+        let g = HexGrid::new(1.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..500 {
+            let h = HexCoord::new(rng.gen_range(-10..10), rng.gen_range(-10..10));
+            let c = g.center(h);
+            // Random point well inside the hexagon (inradius = √3/2 · side).
+            let inr = 0.8 * 3f64.sqrt() / 2.0;
+            let ang: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+            let rad: f64 = rng.gen_range(0.0..inr);
+            let p = Point::new(c.x + rad * ang.cos(), c.y + rad * ang.sin());
+            assert_eq!(g.hex_of(p), h);
+        }
+    }
+
+    #[test]
+    fn points_in_same_cell_are_close() {
+        // Any two points assigned to the same hexagon are within the
+        // corner-to-corner diameter of each other.
+        let g = HexGrid::new(3.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let pts: Vec<Point> = (0..400)
+            .map(|_| Point::new(rng.gen_range(-20.0..20.0), rng.gen_range(-20.0..20.0)))
+            .collect();
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                if g.hex_of(pts[i]) == g.hex_of(pts[j]) {
+                    assert!(pts[i].dist(pts[j]) <= g.diameter() + 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_nonadjacent_cells_are_far() {
+        // Centers of cells at hex distance ≥ 2 are ≥ 3·side apart
+        // (two inradius-steps = 2·(√3·side) ≥ 3·side); this is what makes
+        // per-hexagon winners at distance ≥ 2 automatically independent.
+        let g = HexGrid::new(1.0);
+        for q in -3..=3i32 {
+            for r in -3..=3i32 {
+                let h = HexCoord::new(q, r);
+                let d = h.hex_distance(HexCoord::new(0, 0));
+                if d >= 2 {
+                    assert!(
+                        g.center_distance(h, HexCoord::new(0, 0)) >= 3.0 - 1e-9,
+                        "cell {h:?} at hex distance {d} too close"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_are_at_hex_distance_one() {
+        let h = HexCoord::new(2, -1);
+        for nb in h.neighbors() {
+            assert_eq!(h.hex_distance(nb), 1);
+        }
+        assert_eq!(h.hex_distance(h), 0);
+    }
+
+    #[test]
+    fn hex_distance_symmetric_and_triangle() {
+        let mut rng = ChaCha8Rng::seed_from_u64(123);
+        for _ in 0..200 {
+            let a = HexCoord::new(rng.gen_range(-20..20), rng.gen_range(-20..20));
+            let b = HexCoord::new(rng.gen_range(-20..20), rng.gen_range(-20..20));
+            let c = HexCoord::new(rng.gen_range(-20..20), rng.gen_range(-20..20));
+            assert_eq!(a.hex_distance(b), b.hex_distance(a));
+            assert!(a.hex_distance(c) <= a.hex_distance(b) + b.hex_distance(c));
+        }
+    }
+
+    #[test]
+    fn neighbor_centers_at_sqrt3_side() {
+        let g = HexGrid::new(2.0);
+        let h = HexCoord::new(0, 0);
+        for nb in h.neighbors() {
+            let d = g.center_distance(h, nb);
+            assert!((d - 3f64.sqrt() * 2.0).abs() < 1e-9);
+        }
+    }
+}

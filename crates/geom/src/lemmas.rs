@@ -1,0 +1,337 @@
+//! Numeric checkers for the paper's geometric lemmas (Lemmas 2.3–2.6).
+//!
+//! The energy-stretch proof of Theorem 2.2 rests on four elementary-geometry
+//! lemmas. The paper presents them without proof (deferring to the full
+//! version), so the reproduction *verifies them numerically*: each checker
+//! evaluates both sides of the claimed inequality for a concrete
+//! configuration, and the property-test suite (experiment E10) hammers them
+//! with random configurations satisfying the preconditions.
+//!
+//! Each checker returns [`LemmaCheck`] with the evaluated left/right sides;
+//! `holds()` allows a small relative tolerance for floating-point noise.
+
+use crate::point::{interior_angle, Point};
+
+/// Result of evaluating one side of a lemma inequality `lhs ≤ rhs`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LemmaCheck {
+    pub lhs: f64,
+    pub rhs: f64,
+}
+
+impl LemmaCheck {
+    /// `lhs ≤ rhs` up to a relative tolerance.
+    pub fn holds(&self) -> bool {
+        self.lhs <= self.rhs * (1.0 + 1e-9) + 1e-12
+    }
+}
+
+/// **Lemma 2.3.** For any `△ABC` with `|AC| ≤ |BC|` and `∠ACB ≤ π/3`:
+/// `c·|AB|² + |AC|² ≤ c·|BC|²` for every `c ≥ 1 / (2 cos(∠ACB) − 1)`.
+///
+/// Returns `None` when the precondition fails.
+pub fn lemma_2_3(a: Point, b: Point, c_pt: Point, c: f64) -> Option<LemmaCheck> {
+    let ac = a.dist(c_pt);
+    let bc = b.dist(c_pt);
+    let ab = a.dist(b);
+    let gamma = interior_angle(a, c_pt, b); // ∠ACB
+    if ac > bc || gamma > std::f64::consts::FRAC_PI_3 {
+        return None;
+    }
+    let c_min = 1.0 / (2.0 * gamma.cos() - 1.0);
+    if c < c_min {
+        return None;
+    }
+    Some(LemmaCheck {
+        lhs: c * ab * ab + ac * ac,
+        rhs: c * bc * bc,
+    })
+}
+
+/// The minimum admissible constant `c` of Lemma 2.3 for angle `gamma`.
+pub fn lemma_2_3_c_min(gamma: f64) -> f64 {
+    1.0 / (2.0 * gamma.cos() - 1.0)
+}
+
+/// **Lemma 2.4.** For any `△ABC` with `|BC| ≤ |AC| ≤ |AB|` and
+/// `∠BAC ≤ π/6`: `|BC| ≤ |AB| / (2 cos ∠BAC)`.
+pub fn lemma_2_4(a: Point, b: Point, c: Point) -> Option<LemmaCheck> {
+    let bc = b.dist(c);
+    let ac = a.dist(c);
+    let ab = a.dist(b);
+    let alpha = interior_angle(b, a, c); // ∠BAC
+    if !(bc <= ac && ac <= ab) || alpha > std::f64::consts::FRAC_PI_6 {
+        return None;
+    }
+    Some(LemmaCheck {
+        lhs: bc,
+        rhs: ab / (2.0 * alpha.cos()),
+    })
+}
+
+/// **Lemma 2.5.** Let `A, A₁, …, A_k` be points with `|A Aᵢ| ≥ |A Aᵢ₊₁|`
+/// and `0 ≤ ∠Aᵢ A Aᵢ₊₁ ≤ θ`. If `∠A₁ A A_k = α` then
+/// `Σ |Aᵢ Aᵢ₊₁|² ≤ (|A A₁| − |A A_k|)² + 2 |A A₁|² (α/θ)(1 − cos θ)`.
+///
+/// `chain` is `[A₁, …, A_k]`; `a` is the apex `A`. Returns `None` when the
+/// monotone-distance or per-step-angle precondition fails, when the sweep
+/// is not monotone in one rotational direction, or when the total swept
+/// angle exceeds `π` (the paper's usage has `α ≲ π/6`, so `∠A₁ A A_k`
+/// equals the swept angle only in this regime).
+pub fn lemma_2_5(a: Point, chain: &[Point], theta: f64) -> Option<LemmaCheck> {
+    use crate::point::orient2d;
+    if chain.len() < 2 || theta <= 0.0 {
+        return None;
+    }
+    let mut sweep = 0.0;
+    let mut sweep_sign = 0.0f64;
+    for w in chain.windows(2) {
+        if a.dist(w[0]) + 1e-12 < a.dist(w[1]) {
+            return None; // distances must be non-increasing
+        }
+        let step = interior_angle(w[0], a, w[1]);
+        if step > theta + 1e-12 {
+            return None; // per-step angle exceeds θ
+        }
+        let s = orient2d(a, w[0], w[1]).signum();
+        if s != 0.0 {
+            if sweep_sign == 0.0 {
+                sweep_sign = s;
+            } else if s != sweep_sign {
+                return None; // sweep must be monotone in one direction
+            }
+        }
+        sweep += step;
+    }
+    if sweep > std::f64::consts::PI {
+        return None; // ∠A₁AA_k no longer measures the total sweep
+    }
+    let alpha = interior_angle(chain[0], a, *chain.last().unwrap());
+    let d1 = a.dist(chain[0]);
+    let dk = a.dist(*chain.last().unwrap());
+    let sum_sq: f64 = chain.windows(2).map(|w| w[0].dist_sq(w[1])).sum();
+    Some(LemmaCheck {
+        lhs: sum_sq,
+        rhs: (d1 - dk) * (d1 - dk) + 2.0 * d1 * d1 * (alpha / theta) * (1.0 - theta.cos()),
+    })
+}
+
+/// **Lemma 2.6.** Let `A, B` be points, `O` the midpoint of `AB`. Let `D`
+/// satisfy `|BD| = |AB|` and `∠DBA = π/6`. Let `C` be outside the circle
+/// `C(O, |OA|)` with `|AC| ≤ |AB|`, `∠CAB < π/12`, and `C, D` on the same
+/// side of `AB`. Let `E` be the intersection of segment `CD` with the
+/// circle. Then `∠EAB ≤ 2·∠CAB`.
+///
+/// `D` is constructed on the same side of `AB` as `C` (the lemma requires
+/// `C, D` on the same side). Returns `None` if the preconditions fail or
+/// the segment `CD` misses the circle.
+pub fn lemma_2_6(a: Point, b: Point, c: Point) -> Option<LemmaCheck> {
+    use crate::point::orient2d;
+    let o = a.midpoint(b);
+    let r = o.dist(a);
+    // Preconditions on C.
+    if c.dist(o) <= r {
+        return None; // must be outside the circle
+    }
+    if a.dist(c) > a.dist(b) {
+        return None;
+    }
+    let cab = interior_angle(c, a, b);
+    if cab >= std::f64::consts::PI / 12.0 {
+        return None;
+    }
+    let sc = orient2d(a, b, c);
+    if sc == 0.0 {
+        return None; // C on line AB: no well-defined side
+    }
+    // D: rotate A around B by ±π/6 — that gives |BD| = |BA| = |AB| and
+    // ∠DBA = π/6 — picking the rotation that lands D on C's side of AB.
+    let d_ccw = a.rotate_around(b, std::f64::consts::FRAC_PI_6);
+    let d = if orient2d(a, b, d_ccw) * sc > 0.0 {
+        d_ccw
+    } else {
+        a.rotate_around(b, -std::f64::consts::FRAC_PI_6)
+    };
+    let e = segment_circle_intersection(c, d, o, r)?;
+    Some(LemmaCheck {
+        lhs: interior_angle(e, a, b),
+        rhs: 2.0 * cab,
+    })
+}
+
+/// First intersection of segment `p`→`q` with circle `C(center, r)`,
+/// walking from `p` toward `q`. `None` if the segment misses the circle.
+pub fn segment_circle_intersection(p: Point, q: Point, center: Point, r: f64) -> Option<Point> {
+    let d = p.to(q);
+    let f = center.to(p);
+    let a = d.norm_sq();
+    if a < 1e-300 {
+        return None;
+    }
+    let b = 2.0 * f.dot(d);
+    let c = f.norm_sq() - r * r;
+    let disc = b * b - 4.0 * a * c;
+    if disc < 0.0 {
+        return None;
+    }
+    let sq = disc.sqrt();
+    for t in [(-b - sq) / (2.0 * a), (-b + sq) / (2.0 * a)] {
+        if (0.0..=1.0).contains(&t) {
+            return Some(p.lerp(q, t));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_3, FRAC_PI_6, PI};
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn lemma_2_3_holds_on_sample_triangle() {
+        // C at origin; A close, B farther, angle at C = 30° ≤ 60°.
+        let cpt = p(0.0, 0.0);
+        let a = p(1.0, 0.0);
+        let b = p(2.0 * (PI / 6.0).cos(), 2.0 * (PI / 6.0).sin());
+        let gamma = interior_angle(a, cpt, b);
+        let c = lemma_2_3_c_min(gamma) * 1.01;
+        let chk = lemma_2_3(a, b, cpt, c).expect("preconditions hold");
+        assert!(chk.holds(), "lhs={} rhs={}", chk.lhs, chk.rhs);
+    }
+
+    #[test]
+    fn lemma_2_3_rejects_large_angle() {
+        let cpt = p(0.0, 0.0);
+        let a = p(1.0, 0.0);
+        let b = p(-1.0, 2.0); // angle at C well over 60°
+        assert!(lemma_2_3(a, b, cpt, 100.0).is_none());
+    }
+
+    #[test]
+    fn lemma_2_3_rejects_small_c() {
+        let cpt = p(0.0, 0.0);
+        let a = p(1.0, 0.0);
+        let b = p(2.0 * (PI / 6.0).cos(), 2.0 * (PI / 6.0).sin());
+        assert!(lemma_2_3(a, b, cpt, 0.5).is_none()); // c < c_min(30°) ≈ 1.366
+    }
+
+    #[test]
+    fn c_min_at_zero_angle_is_one() {
+        assert!((lemma_2_3_c_min(0.0) - 1.0).abs() < 1e-12);
+        assert!(lemma_2_3_c_min(FRAC_PI_3 - 0.01) > 10.0);
+    }
+
+    #[test]
+    fn lemma_2_4_holds_on_sample() {
+        // A at origin, B far on x-axis, C making a small angle at A with
+        // |BC| ≤ |AC| ≤ |AB|.
+        let a = p(0.0, 0.0);
+        let b = p(2.0, 0.0);
+        let c = p(1.8 * (0.2f64).cos(), 1.8 * (0.2f64).sin());
+        if let Some(chk) = lemma_2_4(a, b, c) {
+            assert!(chk.holds(), "lhs={} rhs={}", chk.lhs, chk.rhs);
+        } else {
+            panic!("preconditions should hold for this configuration");
+        }
+    }
+
+    #[test]
+    fn lemma_2_4_rejects_wrong_order() {
+        let a = p(0.0, 0.0);
+        let b = p(1.0, 0.0);
+        let c = p(5.0, 0.1); // |AC| > |AB|
+        assert!(lemma_2_4(a, b, c).is_none());
+    }
+
+    #[test]
+    fn lemma_2_4_rejects_large_apex_angle() {
+        let a = p(0.0, 0.0);
+        let b = p(2.0, 0.0);
+        let c = p(1.0, 1.5); // ∠BAC ≈ 56° > 30°
+        assert!(lemma_2_4(a, b, c).is_none());
+    }
+
+    #[test]
+    fn lemma_2_5_holds_on_shrinking_spiral() {
+        let a = p(0.0, 0.0);
+        let theta = FRAC_PI_6;
+        // Points at decreasing radius, consecutive angular gap θ/2.
+        let chain: Vec<Point> = (0..6)
+            .map(|i| {
+                let r = 1.0 - 0.1 * i as f64;
+                let ang = i as f64 * theta / 2.0;
+                p(r * ang.cos(), r * ang.sin())
+            })
+            .collect();
+        let chk = lemma_2_5(a, &chain, theta).expect("preconditions hold");
+        assert!(chk.holds(), "lhs={} rhs={}", chk.lhs, chk.rhs);
+    }
+
+    #[test]
+    fn lemma_2_5_rejects_growing_distance() {
+        let a = p(0.0, 0.0);
+        let chain = vec![p(1.0, 0.0), p(2.0, 0.1)];
+        assert!(lemma_2_5(a, &chain, FRAC_PI_6).is_none());
+    }
+
+    #[test]
+    fn lemma_2_5_rejects_big_step_angle() {
+        let a = p(0.0, 0.0);
+        let chain = vec![p(1.0, 0.0), p(0.0, 0.9)]; // 90° step > θ
+        assert!(lemma_2_5(a, &chain, FRAC_PI_6).is_none());
+    }
+
+    #[test]
+    fn lemma_2_5_two_point_chain_degenerate() {
+        // k = 2, zero angular gap: inequality reduces to
+        // |A1A2|² ≤ (|AA1|−|AA2|)² for collinear points — equality.
+        let a = p(0.0, 0.0);
+        let chain = vec![p(2.0, 0.0), p(1.0, 0.0)];
+        let chk = lemma_2_5(a, &chain, FRAC_PI_6).unwrap();
+        assert!(chk.holds());
+        assert!((chk.lhs - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn segment_circle_intersection_basic() {
+        let e = segment_circle_intersection(p(-2.0, 0.0), p(2.0, 0.0), p(0.0, 0.0), 1.0).unwrap();
+        assert!((e.x + 1.0).abs() < 1e-12 && e.y.abs() < 1e-12);
+        // Miss
+        assert!(segment_circle_intersection(p(-2.0, 5.0), p(2.0, 5.0), p(0.0, 0.0), 1.0).is_none());
+        // Degenerate zero-length segment
+        assert!(segment_circle_intersection(p(0.0, 5.0), p(0.0, 5.0), p(0.0, 0.0), 1.0).is_none());
+    }
+
+    #[test]
+    fn lemma_2_6_holds_on_sample() {
+        let a = p(0.0, 0.0);
+        let b = p(2.0, 0.0);
+        // C outside circle C(O,1), |AC| ≤ |AB|, small angle, upper side.
+        let ang: f64 = 0.15; // < π/12 ≈ 0.2618
+        let c = p(1.99 * ang.cos(), 1.99 * ang.sin());
+        let chk = lemma_2_6(a, b, c).expect("preconditions + intersection");
+        assert!(chk.holds(), "lhs={} rhs={}", chk.lhs, chk.rhs);
+    }
+
+    #[test]
+    fn lemma_2_6_rejects_inside_circle() {
+        let a = p(0.0, 0.0);
+        let b = p(2.0, 0.0);
+        let c = p(1.0, 0.1); // inside C(O,1)
+        assert!(lemma_2_6(a, b, c).is_none());
+    }
+
+    #[test]
+    fn lemma_2_6_rejects_wide_angle() {
+        let a = p(0.0, 0.0);
+        let b = p(2.0, 0.0);
+        let ang: f64 = 0.5; // > π/12
+        let c = p(1.99 * ang.cos(), 1.99 * ang.sin());
+        assert!(lemma_2_6(a, b, c).is_none());
+    }
+}

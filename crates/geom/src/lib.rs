@@ -1,0 +1,72 @@
+//! # adhoc-geom
+//!
+//! 2-D geometry substrate for the SPAA'03 reproduction *"On Local Algorithms
+//! for Topology Control and Routing in Ad Hoc Networks"* (Jia, Rajaraman,
+//! Scheideler).
+//!
+//! This crate provides everything below the graph layer:
+//!
+//! * [`Point`] / [`Vec2`] — plane geometry with robust helper predicates.
+//! * [`sector`] — the cone/sector arithmetic that drives the ΘALG topology
+//!   control algorithm (each node partitions the plane around itself into
+//!   sectors of angle `θ ≤ π/3`).
+//! * [`grid`] — a uniform-grid spatial index used to build unit-disk graphs
+//!   and interference sets in near-linear expected time.
+//! * [`hex`] — the honeycomb tiling of the plane with hexagons of side
+//!   `3 + 2Δ` used by the fixed-transmission-strength algorithm of §3.4
+//!   (paper Figure 5).
+//! * [`distributions`] — seeded synthetic node distributions (uniform,
+//!   clustered, grid-jitter, λ-precision/civilized, adversarial chains).
+//! * [`lemmas`] — numeric checkers for the paper's geometric Lemmas 2.3–2.6,
+//!   exercised by property-based tests (experiment E10).
+
+pub mod angle;
+pub mod distributions;
+pub mod grid;
+pub mod hex;
+pub mod lemmas;
+pub mod point;
+pub mod sector;
+
+pub use angle::{angle_between, normalize_angle, TAU};
+pub use grid::GridIndex;
+pub use hex::{HexCoord, HexGrid};
+pub use point::{Point, Vec2};
+pub use sector::SectorPartition;
+
+/// Default maximum transmission range `D` used throughout the experiments
+/// when nodes live in the unit square. Chosen so that a uniform random set
+/// of ≥ 100 nodes is connected with overwhelming probability
+/// (`D ≳ sqrt(2 ln n / n)` is the connectivity threshold).
+pub fn default_max_range(n: usize) -> f64 {
+    let n = n.max(2) as f64;
+    (2.5 * n.ln() / n).sqrt().min(1.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_range_monotone_decreasing_in_n() {
+        let r100 = default_max_range(100);
+        let r1000 = default_max_range(1000);
+        let r10000 = default_max_range(10_000);
+        assert!(r100 > r1000 && r1000 > r10000);
+    }
+
+    #[test]
+    fn default_range_capped() {
+        assert!(default_max_range(2) <= 1.5);
+        assert!(default_max_range(0) <= 1.5);
+    }
+
+    #[test]
+    fn default_range_connectivity_margin() {
+        // For n = 1000 the threshold is sqrt(ln n / n) ≈ 0.0831; ours must
+        // exceed it (we use 2.5 ln n / n under the sqrt).
+        let n = 1000usize;
+        let threshold = ((n as f64).ln() / n as f64).sqrt();
+        assert!(default_max_range(n) > threshold);
+    }
+}

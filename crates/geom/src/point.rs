@@ -1,0 +1,424 @@
+//! Points and vectors in the Euclidean plane.
+//!
+//! All node positions in the reproduction are [`Point`]s. Energy costs use
+//! `|uv|^κ` (see the paper's §2.2 power-attenuation model), so the distance
+//! helpers here are the innermost kernel of every experiment.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A point in the 2-D Euclidean plane.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    pub x: f64,
+    pub y: f64,
+}
+
+/// A displacement vector in the plane.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec2 {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Point {
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    #[inline]
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance `|self other|`.
+    #[inline]
+    pub fn dist(&self, other: Point) -> f64 {
+        self.dist_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance; prefer this in comparisons (no sqrt).
+    #[inline]
+    pub fn dist_sq(&self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Transmission energy cost `|uv|^κ` of the paper's attenuation model.
+    ///
+    /// `κ = 2` and `κ = 4` use exact multiplications; other exponents fall
+    /// back to `powf`.
+    #[inline]
+    pub fn energy_cost(&self, other: Point, kappa: f64) -> f64 {
+        let d2 = self.dist_sq(other);
+        if kappa == 2.0 {
+            d2
+        } else if kappa == 4.0 {
+            d2 * d2
+        } else if kappa == 3.0 {
+            d2 * d2.sqrt()
+        } else {
+            d2.powf(kappa / 2.0)
+        }
+    }
+
+    /// The vector from `self` to `other`.
+    #[inline]
+    pub fn to(&self, other: Point) -> Vec2 {
+        Vec2 {
+            x: other.x - self.x,
+            y: other.y - self.y,
+        }
+    }
+
+    /// Midpoint of the segment `self`–`other` (used by the Gabriel-graph
+    /// predicate and by Lemma 2.6's circle construction).
+    #[inline]
+    pub fn midpoint(&self, other: Point) -> Point {
+        Point {
+            x: 0.5 * (self.x + other.x),
+            y: 0.5 * (self.y + other.y),
+        }
+    }
+
+    /// Linear interpolation: `t = 0` gives `self`, `t = 1` gives `other`.
+    #[inline]
+    pub fn lerp(&self, other: Point, t: f64) -> Point {
+        Point {
+            x: self.x + t * (other.x - self.x),
+            y: self.y + t * (other.y - self.y),
+        }
+    }
+
+    /// Angle of the direction from `self` to `other`, in `[0, 2π)`.
+    #[inline]
+    pub fn direction_to(&self, other: Point) -> f64 {
+        crate::angle::normalize_angle((other.y - self.y).atan2(other.x - self.x))
+    }
+
+    /// Rotate `self` around `pivot` by `angle` radians (counterclockwise).
+    pub fn rotate_around(&self, pivot: Point, angle: f64) -> Point {
+        let (s, c) = angle.sin_cos();
+        let dx = self.x - pivot.x;
+        let dy = self.y - pivot.y;
+        Point {
+            x: pivot.x + c * dx - s * dy,
+            y: pivot.y + s * dx + c * dy,
+        }
+    }
+
+    /// True iff the point lies strictly inside the open disk `C(center, r)`.
+    #[inline]
+    pub fn in_open_disk(&self, center: Point, r: f64) -> bool {
+        self.dist_sq(center) < r * r
+    }
+}
+
+impl Vec2 {
+    #[inline]
+    pub fn new(x: f64, y: f64) -> Self {
+        Vec2 { x, y }
+    }
+
+    #[inline]
+    pub fn norm(&self) -> f64 {
+        (self.x * self.x + self.y * self.y).sqrt()
+    }
+
+    #[inline]
+    pub fn norm_sq(&self) -> f64 {
+        self.x * self.x + self.y * self.y
+    }
+
+    #[inline]
+    pub fn dot(&self, other: Vec2) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// 2-D cross product (z-component); sign gives orientation.
+    #[inline]
+    pub fn cross(&self, other: Vec2) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Unit vector in the same direction. Returns `None` for (near-)zero
+    /// vectors rather than producing NaNs.
+    pub fn normalized(&self) -> Option<Vec2> {
+        let n = self.norm();
+        if n < 1e-300 {
+            None
+        } else {
+            Some(Vec2 {
+                x: self.x / n,
+                y: self.y / n,
+            })
+        }
+    }
+
+    /// Angle of this vector in `[0, 2π)`.
+    #[inline]
+    pub fn angle(&self) -> f64 {
+        crate::angle::normalize_angle(self.y.atan2(self.x))
+    }
+
+    /// Unit vector at the given angle.
+    #[inline]
+    pub fn from_angle(angle: f64) -> Vec2 {
+        let (s, c) = angle.sin_cos();
+        Vec2 { x: c, y: s }
+    }
+}
+
+/// Orientation of the ordered triple `(a, b, c)`.
+///
+/// Positive ⇒ counterclockwise, negative ⇒ clockwise, ~0 ⇒ collinear.
+#[inline]
+pub fn orient2d(a: Point, b: Point, c: Point) -> f64 {
+    (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x)
+}
+
+/// The (unsigned, interior) angle `∠abc` at vertex `b`, in `[0, π]`.
+pub fn interior_angle(a: Point, b: Point, c: Point) -> f64 {
+    let u = b.to(a);
+    let v = b.to(c);
+    let denom = u.norm() * v.norm();
+    if denom < 1e-300 {
+        return 0.0;
+    }
+    (u.dot(v) / denom).clamp(-1.0, 1.0).acos()
+}
+
+impl Add<Vec2> for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, v: Vec2) -> Point {
+        Point {
+            x: self.x + v.x,
+            y: self.y + v.y,
+        }
+    }
+}
+
+impl AddAssign<Vec2> for Point {
+    #[inline]
+    fn add_assign(&mut self, v: Vec2) {
+        self.x += v.x;
+        self.y += v.y;
+    }
+}
+
+impl Sub<Vec2> for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, v: Vec2) -> Point {
+        Point {
+            x: self.x - v.x,
+            y: self.y - v.y,
+        }
+    }
+}
+
+impl Sub<Point> for Point {
+    type Output = Vec2;
+    #[inline]
+    fn sub(self, p: Point) -> Vec2 {
+        Vec2 {
+            x: self.x - p.x,
+            y: self.y - p.y,
+        }
+    }
+}
+
+impl Add for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn add(self, o: Vec2) -> Vec2 {
+        Vec2 {
+            x: self.x + o.x,
+            y: self.y + o.y,
+        }
+    }
+}
+
+impl Sub for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn sub(self, o: Vec2) -> Vec2 {
+        Vec2 {
+            x: self.x - o.x,
+            y: self.y - o.y,
+        }
+    }
+}
+
+impl SubAssign for Vec2 {
+    #[inline]
+    fn sub_assign(&mut self, o: Vec2) {
+        self.x -= o.x;
+        self.y -= o.y;
+    }
+}
+
+impl Mul<f64> for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn mul(self, s: f64) -> Vec2 {
+        Vec2 {
+            x: self.x * s,
+            y: self.y * s,
+        }
+    }
+}
+
+impl Div<f64> for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn div(self, s: f64) -> Vec2 {
+        Vec2 {
+            x: self.x / s,
+            y: self.y / s,
+        }
+    }
+}
+
+impl Neg for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn neg(self) -> Vec2 {
+        Vec2 {
+            x: -self.x,
+            y: -self.y,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn dist_345() {
+        assert_eq!(p(0.0, 0.0).dist(p(3.0, 4.0)), 5.0);
+        assert_eq!(p(0.0, 0.0).dist_sq(p(3.0, 4.0)), 25.0);
+    }
+
+    #[test]
+    fn energy_cost_kappa_exact_forms() {
+        let a = p(0.0, 0.0);
+        let b = p(0.0, 2.0);
+        assert_eq!(a.energy_cost(b, 2.0), 4.0);
+        assert_eq!(a.energy_cost(b, 4.0), 16.0);
+        assert!((a.energy_cost(b, 3.0) - 8.0).abs() < 1e-12);
+        assert!((a.energy_cost(b, 2.5) - 2.0f64.powf(2.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_cost_is_monotone_in_distance() {
+        let a = p(0.0, 0.0);
+        for kappa in [2.0, 3.0, 4.0] {
+            let near = a.energy_cost(p(0.5, 0.0), kappa);
+            let far = a.energy_cost(p(0.9, 0.0), kappa);
+            assert!(near < far, "kappa={kappa}");
+        }
+    }
+
+    #[test]
+    fn direction_to_quadrants() {
+        let o = Point::ORIGIN;
+        assert!((o.direction_to(p(1.0, 0.0)) - 0.0).abs() < 1e-12);
+        assert!((o.direction_to(p(0.0, 1.0)) - FRAC_PI_2).abs() < 1e-12);
+        assert!((o.direction_to(p(-1.0, 0.0)) - PI).abs() < 1e-12);
+        assert!((o.direction_to(p(0.0, -1.0)) - 3.0 * FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rotate_around_quarter_turn() {
+        let q = p(1.0, 0.0).rotate_around(Point::ORIGIN, FRAC_PI_2);
+        assert!((q.x - 0.0).abs() < 1e-12);
+        assert!((q.y - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rotate_preserves_distance_to_pivot() {
+        let pivot = p(0.3, -0.7);
+        let q = p(2.0, 5.0);
+        for k in 0..8 {
+            let r = q.rotate_around(pivot, k as f64 * 0.77);
+            assert!((r.dist(pivot) - q.dist(pivot)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn orientation_signs() {
+        assert!(orient2d(p(0.0, 0.0), p(1.0, 0.0), p(0.0, 1.0)) > 0.0);
+        assert!(orient2d(p(0.0, 0.0), p(0.0, 1.0), p(1.0, 0.0)) < 0.0);
+        assert_eq!(orient2d(p(0.0, 0.0), p(1.0, 1.0), p(2.0, 2.0)), 0.0);
+    }
+
+    #[test]
+    fn interior_angle_right_triangle() {
+        let ang = interior_angle(p(1.0, 0.0), Point::ORIGIN, p(0.0, 1.0));
+        assert!((ang - FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interior_angle_degenerate_is_zero() {
+        assert_eq!(interior_angle(p(0.0, 0.0), p(0.0, 0.0), p(1.0, 0.0)), 0.0);
+    }
+
+    #[test]
+    fn midpoint_and_lerp_agree() {
+        let a = p(1.0, 2.0);
+        let b = p(3.0, -4.0);
+        let m = a.midpoint(b);
+        let l = a.lerp(b, 0.5);
+        assert!((m.x - l.x).abs() < 1e-15 && (m.y - l.y).abs() < 1e-15);
+    }
+
+    #[test]
+    fn vector_algebra() {
+        let v = Vec2::new(3.0, 4.0);
+        assert_eq!(v.norm(), 5.0);
+        assert_eq!(v.dot(Vec2::new(1.0, 0.0)), 3.0);
+        assert_eq!(v.cross(Vec2::new(1.0, 0.0)), -4.0);
+        let u = v.normalized().unwrap();
+        assert!((u.norm() - 1.0).abs() < 1e-12);
+        assert!(Vec2::new(0.0, 0.0).normalized().is_none());
+    }
+
+    #[test]
+    fn from_angle_roundtrip() {
+        for k in 0..16 {
+            let a = k as f64 * (TAU_LOCAL / 16.0);
+            let v = Vec2::from_angle(a);
+            assert!((crate::angle::normalize_angle(v.angle() - a)).abs() < 1e-9
+                || (crate::angle::normalize_angle(v.angle() - a) - TAU_LOCAL).abs() < 1e-9);
+        }
+    }
+
+    const TAU_LOCAL: f64 = 2.0 * PI;
+
+    #[test]
+    fn open_disk_membership() {
+        let c = p(0.0, 0.0);
+        assert!(p(0.5, 0.0).in_open_disk(c, 1.0));
+        assert!(!p(1.0, 0.0).in_open_disk(c, 1.0)); // boundary excluded
+        assert!(!p(1.1, 0.0).in_open_disk(c, 1.0));
+    }
+
+    #[test]
+    fn point_vector_ops() {
+        let a = p(1.0, 1.0);
+        let v = Vec2::new(2.0, -1.0);
+        assert_eq!(a + v, p(3.0, 0.0));
+        assert_eq!(a - v, p(-1.0, 2.0));
+        assert_eq!((p(3.0, 0.0) - a), v);
+        let mut b = a;
+        b += v;
+        assert_eq!(b, p(3.0, 0.0));
+    }
+}

@@ -1,0 +1,193 @@
+//! Sector (cone) partition used by ΘALG.
+//!
+//! Each node `u` divides the `360°` space around itself into `k = ⌈2π/θ⌉`
+//! sectors of equal angle (the paper takes `2π/θ` integral; we round the
+//! count up and use the exact per-sector width `2π/k ≤ θ` so the degree and
+//! stretch guarantees are preserved). `S(u, v)` — "the sector of `u`
+//! containing `v`" — is [`SectorPartition::sector_of`].
+//!
+//! Sectors are anchored at a *global* orientation (angle 0 = +x axis) for
+//! every node, matching the standard Yao-graph construction; the analysis
+//! does not depend on the anchor.
+
+use crate::angle::{normalize_angle, TAU};
+use crate::point::Point;
+use serde::{Deserialize, Serialize};
+
+/// A partition of the directions around a node into `count` equal cones.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SectorPartition {
+    /// Number of sectors `k`.
+    count: u32,
+    /// Exact width of each sector, `2π / k`.
+    width: f64,
+}
+
+impl SectorPartition {
+    /// Partition with sectors of angle at most `theta`.
+    ///
+    /// # Panics
+    /// Panics if `theta` is not in `(0, 2π]`.
+    pub fn with_max_angle(theta: f64) -> Self {
+        assert!(
+            theta > 0.0 && theta <= TAU,
+            "sector angle must be in (0, 2π], got {theta}"
+        );
+        let count = (TAU / theta).ceil() as u32;
+        SectorPartition {
+            count,
+            width: TAU / count as f64,
+        }
+    }
+
+    /// Partition into exactly `count` sectors.
+    ///
+    /// # Panics
+    /// Panics if `count == 0`.
+    pub fn with_count(count: u32) -> Self {
+        assert!(count > 0, "sector count must be positive");
+        SectorPartition {
+            count,
+            width: TAU / count as f64,
+        }
+    }
+
+    /// Number of sectors `k`.
+    #[inline]
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// Exact angular width of each sector (`≤` the requested θ).
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Index of the sector containing direction `angle` (radians).
+    #[inline]
+    pub fn sector_of_angle(&self, angle: f64) -> u32 {
+        let a = normalize_angle(angle);
+        let idx = (a / self.width) as u32;
+        // Guard the a == TAU-ε rounding edge.
+        idx.min(self.count - 1)
+    }
+
+    /// `S(u, v)`: index of `u`'s sector containing node `v`.
+    ///
+    /// `u` and `v` must be distinct points; coincident points get sector 0.
+    #[inline]
+    pub fn sector_of(&self, u: Point, v: Point) -> u32 {
+        self.sector_of_angle(u.direction_to(v))
+    }
+
+    /// Lower boundary angle of sector `i`.
+    #[inline]
+    pub fn sector_start(&self, i: u32) -> f64 {
+        debug_assert!(i < self.count);
+        i as f64 * self.width
+    }
+
+    /// Bisector (central) angle of sector `i`.
+    #[inline]
+    pub fn sector_mid(&self, i: u32) -> f64 {
+        self.sector_start(i) + 0.5 * self.width
+    }
+
+    /// Angular difference between two directions measured as the number of
+    /// whole sectors separating them (used in the Case-2 analysis walk of
+    /// Theorem 2.2's proof).
+    pub fn sectors_between(&self, a: f64, b: f64) -> u32 {
+        let d = crate::angle::angle_between(a, b);
+        (d / self.width).floor() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_3, PI};
+
+    #[test]
+    fn with_max_angle_rounds_count_up() {
+        let p = SectorPartition::with_max_angle(FRAC_PI_3);
+        assert_eq!(p.count(), 6);
+        assert!((p.width() - FRAC_PI_3).abs() < 1e-15);
+
+        // θ slightly below π/3 forces 7 sectors with width < θ.
+        let p2 = SectorPartition::with_max_angle(FRAC_PI_3 - 1e-6);
+        assert_eq!(p2.count(), 7);
+        assert!(p2.width() <= FRAC_PI_3 - 1e-6 + 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_angle_panics() {
+        SectorPartition::with_max_angle(0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_count_panics() {
+        SectorPartition::with_count(0);
+    }
+
+    #[test]
+    fn sector_of_angle_covers_circle() {
+        let p = SectorPartition::with_count(9);
+        let mut seen = [false; 9];
+        for k in 0..9000 {
+            let a = k as f64 * (TAU / 9000.0);
+            let s = p.sector_of_angle(a);
+            assert!(s < 9);
+            seen[s as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn sector_boundaries_half_open() {
+        let p = SectorPartition::with_count(6);
+        assert_eq!(p.sector_of_angle(0.0), 0);
+        assert_eq!(p.sector_of_angle(FRAC_PI_3 - 1e-12), 0);
+        assert_eq!(p.sector_of_angle(FRAC_PI_3 + 1e-12), 1);
+        // 2π maps back to sector 0
+        assert_eq!(p.sector_of_angle(TAU), 0);
+        // just below 2π is the last sector
+        assert_eq!(p.sector_of_angle(TAU - 1e-9), 5);
+    }
+
+    #[test]
+    fn sector_of_points() {
+        let p = SectorPartition::with_count(4);
+        let u = Point::ORIGIN;
+        assert_eq!(p.sector_of(u, Point::new(1.0, 0.5)), 0);
+        assert_eq!(p.sector_of(u, Point::new(-0.5, 1.0)), 1);
+        assert_eq!(p.sector_of(u, Point::new(-1.0, -0.5)), 2);
+        assert_eq!(p.sector_of(u, Point::new(0.5, -1.0)), 3);
+    }
+
+    #[test]
+    fn sector_start_and_mid() {
+        let p = SectorPartition::with_count(4);
+        assert_eq!(p.sector_start(0), 0.0);
+        assert!((p.sector_start(2) - PI).abs() < 1e-15);
+        assert!((p.sector_mid(0) - PI / 4.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sectors_between_counts_whole_sectors() {
+        let p = SectorPartition::with_count(12); // width = 30°
+        assert_eq!(p.sectors_between(0.0, 0.1), 0);
+        assert_eq!(p.sectors_between(0.0, PI / 6.0 + 0.01), 1);
+        assert_eq!(p.sectors_between(0.0, PI), 6);
+    }
+
+    #[test]
+    fn coincident_points_sector_zero() {
+        let p = SectorPartition::with_count(8);
+        let u = Point::new(0.3, 0.3);
+        // direction_to of coincident points is atan2(0,0)=0 → sector 0.
+        assert_eq!(p.sector_of(u, u), 0);
+    }
+}

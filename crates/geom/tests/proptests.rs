@@ -1,0 +1,190 @@
+//! Property-based tests for the geometry substrate, including the numeric
+//! verification of the paper's Lemmas 2.3–2.6 (experiment E10).
+
+use adhoc_geom::angle::{angle_between, normalize_angle, TAU};
+use adhoc_geom::lemmas::*;
+use adhoc_geom::point::{interior_angle, Point};
+use adhoc_geom::{GridIndex, HexGrid, SectorPartition};
+use proptest::prelude::*;
+
+fn arb_point(range: f64) -> impl Strategy<Value = Point> {
+    (-range..range, -range..range).prop_map(|(x, y)| Point::new(x, y))
+}
+
+proptest! {
+    #[test]
+    fn normalize_angle_in_range(a in -100.0f64..100.0) {
+        let r = normalize_angle(a);
+        prop_assert!((0.0..TAU).contains(&r));
+        // normalizing twice is idempotent
+        prop_assert!((normalize_angle(r) - r).abs() < 1e-12);
+    }
+
+    #[test]
+    fn angle_between_triangle_inequality(a in 0.0f64..TAU, b in 0.0f64..TAU, c in 0.0f64..TAU) {
+        prop_assert!(angle_between(a, c) <= angle_between(a, b) + angle_between(b, c) + 1e-9);
+    }
+
+    #[test]
+    fn distance_symmetric_nonnegative(p in arb_point(10.0), q in arb_point(10.0)) {
+        prop_assert!((p.dist(q) - q.dist(p)).abs() < 1e-12);
+        prop_assert!(p.dist(q) >= 0.0);
+    }
+
+    #[test]
+    fn distance_triangle_inequality(
+        p in arb_point(10.0), q in arb_point(10.0), r in arb_point(10.0)
+    ) {
+        prop_assert!(p.dist(r) <= p.dist(q) + q.dist(r) + 1e-9);
+    }
+
+    #[test]
+    fn energy_cost_superadditive_on_segment(
+        p in arb_point(5.0), q in arb_point(5.0), t in 0.01f64..0.99,
+        kappa in 2.0f64..4.0
+    ) {
+        // Relaying through a midpoint never costs more than the direct
+        // transmission: |uv|^κ ≥ |uw|^κ + |wv|^κ for w on the segment.
+        // This is the reason multi-hop saves energy (paper §2.2).
+        let w = p.lerp(q, t);
+        let direct = p.energy_cost(q, kappa);
+        let relayed = p.energy_cost(w, kappa) + w.energy_cost(q, kappa);
+        prop_assert!(relayed <= direct * (1.0 + 1e-9) + 1e-12);
+    }
+
+    #[test]
+    fn sector_of_is_total_and_bounded(
+        count in 1u32..64,
+        u in arb_point(10.0),
+        v in arb_point(10.0)
+    ) {
+        let part = SectorPartition::with_count(count);
+        prop_assert!(part.sector_of(u, v) < count);
+    }
+
+    #[test]
+    fn sector_width_times_count_is_tau(theta in 0.01f64..TAU) {
+        let part = SectorPartition::with_max_angle(theta);
+        prop_assert!((part.width() * part.count() as f64 - TAU).abs() < 1e-9);
+        prop_assert!(part.width() <= theta + 1e-12);
+    }
+
+    #[test]
+    fn hex_assignment_roundtrip(side in 0.1f64..10.0, q in -50i32..50, r in -50i32..50) {
+        let grid = HexGrid::new(side);
+        let h = adhoc_geom::HexCoord::new(q, r);
+        prop_assert_eq!(grid.hex_of(grid.center(h)), h);
+    }
+
+    #[test]
+    fn hex_same_cell_within_diameter(
+        side in 0.5f64..5.0,
+        p in arb_point(20.0),
+        q in arb_point(20.0)
+    ) {
+        let grid = HexGrid::new(side);
+        if grid.hex_of(p) == grid.hex_of(q) {
+            prop_assert!(p.dist(q) <= grid.diameter() + 1e-9);
+        }
+    }
+
+    // ---- E10: the paper's geometric lemmas hold numerically ----
+
+    #[test]
+    fn paper_lemma_2_3(
+        gamma in 0.001f64..(std::f64::consts::FRAC_PI_3 - 0.001),
+        la in 0.1f64..10.0,
+        scale in 1.0f64..10.0,
+        slack in 1.0f64..5.0
+    ) {
+        // Construct a triangle with apex angle exactly gamma at C and
+        // |AC| = la ≤ |BC| = la * scale.
+        let c_pt = Point::new(0.0, 0.0);
+        let a = Point::new(la, 0.0);
+        let lb = la * scale;
+        let b = Point::new(lb * gamma.cos(), lb * gamma.sin());
+        let cc = lemma_2_3_c_min(gamma) * slack;
+        if let Some(chk) = lemma_2_3(a, b, c_pt, cc) {
+            prop_assert!(chk.holds(), "lhs={} rhs={} gamma={}", chk.lhs, chk.rhs, gamma);
+        }
+    }
+
+    #[test]
+    fn paper_lemma_2_4(
+        alpha in 0.001f64..(std::f64::consts::FRAC_PI_6 - 0.001),
+        ab in 0.5f64..10.0,
+        frac in 0.01f64..1.0
+    ) {
+        // A at origin, B on x-axis at distance ab, C at angle alpha with
+        // |AC| = frac·|AB| ≤ |AB|; only test when |BC| ≤ |AC| holds.
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(ab, 0.0);
+        let ac = ab * frac;
+        let c = Point::new(ac * alpha.cos(), ac * alpha.sin());
+        if let Some(chk) = lemma_2_4(a, b, c) {
+            prop_assert!(chk.holds(), "lhs={} rhs={}", chk.lhs, chk.rhs);
+        }
+    }
+
+    #[test]
+    fn paper_lemma_2_5(
+        theta in 0.05f64..std::f64::consts::FRAC_PI_3,
+        steps in 2usize..12,
+        shrink in 0.5f64..1.0,
+        gapfrac in 0.0f64..1.0
+    ) {
+        // Chain with radii shrinking geometrically and angular steps of
+        // gapfrac·θ each.
+        let a = Point::new(0.0, 0.0);
+        let chain: Vec<Point> = (0..steps)
+            .map(|i| {
+                let r = shrink.powi(i as i32);
+                let ang = i as f64 * gapfrac * theta;
+                Point::new(r * ang.cos(), r * ang.sin())
+            })
+            .collect();
+        if let Some(chk) = lemma_2_5(a, &chain, theta) {
+            prop_assert!(chk.holds(), "lhs={} rhs={}", chk.lhs, chk.rhs);
+        }
+    }
+
+    #[test]
+    fn paper_lemma_2_6(
+        ang in 0.001f64..(std::f64::consts::PI / 12.0 - 0.001),
+        ab in 1.0f64..5.0,
+        cfrac in 0.9f64..1.0
+    ) {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(ab, 0.0);
+        let ac = ab * cfrac;
+        let c = Point::new(ac * ang.cos(), ac * ang.sin());
+        if let Some(chk) = lemma_2_6(a, b, c) {
+            prop_assert!(chk.holds(), "lhs={} rhs={} ang={}", chk.lhs, chk.rhs, ang);
+        }
+    }
+
+    #[test]
+    fn interior_angle_in_range(
+        a in arb_point(5.0), b in arb_point(5.0), c in arb_point(5.0)
+    ) {
+        let ang = interior_angle(a, b, c);
+        prop_assert!((0.0..=std::f64::consts::PI + 1e-12).contains(&ang));
+    }
+
+    #[test]
+    fn grid_index_within_complete(
+        pts in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 1..80),
+        qx in 0.0f64..1.0, qy in 0.0f64..1.0, r in 0.01f64..0.5
+    ) {
+        let points: Vec<Point> = pts.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        let g = GridIndex::build(&points, 0.1);
+        let q = Point::new(qx, qy);
+        let mut got = g.within(q, r);
+        got.sort_unstable();
+        let mut want: Vec<u32> = (0..points.len() as u32)
+            .filter(|&i| points[i as usize].dist(q) <= r)
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+}

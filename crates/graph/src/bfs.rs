@@ -1,0 +1,137 @@
+//! Breadth-first search utilities: hop distances and connectivity.
+
+use crate::graph::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// Hop distance (unweighted) from `source` to every node; `u32::MAX` marks
+/// unreachable nodes.
+pub fn bfs_hops(g: &Graph, source: NodeId) -> Vec<u32> {
+    let n = g.num_nodes();
+    assert!((source as usize) < n, "source {source} out of range");
+    let mut hops = vec![u32::MAX; n];
+    let mut queue = VecDeque::with_capacity(n.min(1024));
+    hops[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let hu = hops[u as usize];
+        for a in g.neighbors(u) {
+            if hops[a.to as usize] == u32::MAX {
+                hops[a.to as usize] = hu + 1;
+                queue.push_back(a.to);
+            }
+        }
+    }
+    hops
+}
+
+/// True iff the graph is connected. The empty graph and singleton are
+/// connected by convention.
+pub fn is_connected(g: &Graph) -> bool {
+    let n = g.num_nodes();
+    if n <= 1 {
+        return true;
+    }
+    bfs_hops(g, 0).iter().all(|&h| h != u32::MAX)
+}
+
+/// Connected components: returns `(component_id_per_node, component_count)`.
+pub fn connected_components(g: &Graph) -> (Vec<u32>, usize) {
+    let n = g.num_nodes();
+    let mut comp = vec![u32::MAX; n];
+    let mut count = 0u32;
+    let mut queue = VecDeque::new();
+    for s in 0..n as NodeId {
+        if comp[s as usize] != u32::MAX {
+            continue;
+        }
+        comp[s as usize] = count;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            for a in g.neighbors(u) {
+                if comp[a.to as usize] == u32::MAX {
+                    comp[a.to as usize] = count;
+                    queue.push_back(a.to);
+                }
+            }
+        }
+        count += 1;
+    }
+    (comp, count as usize)
+}
+
+/// Unweighted diameter (max finite hop distance over all pairs), or `None`
+/// if the graph is disconnected or empty.
+pub fn hop_diameter(g: &Graph) -> Option<u32> {
+    let n = g.num_nodes();
+    if n == 0 || !is_connected(g) {
+        return None;
+    }
+    let mut best = 0;
+    for s in 0..n as NodeId {
+        let h = bfs_hops(g, s);
+        best = best.max(*h.iter().max().unwrap());
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    fn path_graph(n: usize) -> Graph {
+        let mut b = GraphBuilder::new(n);
+        for u in 0..(n - 1) as u32 {
+            b.add_edge(u, u + 1, 1.0);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn hops_on_path() {
+        let g = path_graph(5);
+        assert_eq!(bfs_hops(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs_hops(&g, 2), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn connectivity() {
+        assert!(is_connected(&path_graph(5)));
+        assert!(is_connected(&GraphBuilder::new(0).build()));
+        assert!(is_connected(&GraphBuilder::new(1).build()));
+        assert!(!is_connected(&GraphBuilder::new(2).build()));
+    }
+
+    #[test]
+    fn components_counts() {
+        let mut b = GraphBuilder::new(6);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(2, 3, 1.0);
+        b.add_edge(3, 4, 1.0);
+        let g = b.build();
+        let (comp, count) = connected_components(&g);
+        assert_eq!(count, 3); // {0,1}, {2,3,4}, {5}
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_eq!(comp[3], comp[4]);
+        assert_ne!(comp[0], comp[2]);
+        assert_ne!(comp[2], comp[5]);
+    }
+
+    #[test]
+    fn diameter_of_path_and_disconnected() {
+        assert_eq!(hop_diameter(&path_graph(5)), Some(4));
+        assert_eq!(hop_diameter(&GraphBuilder::new(3).build()), None);
+        assert_eq!(hop_diameter(&GraphBuilder::new(0).build()), None);
+    }
+
+    #[test]
+    fn bfs_ignores_weights() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 100.0);
+        b.add_edge(1, 2, 100.0);
+        b.add_edge(0, 2, 0.001);
+        let g = b.build();
+        assert_eq!(bfs_hops(&g, 0)[2], 1); // direct edge, weight irrelevant
+    }
+}

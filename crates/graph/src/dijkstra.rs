@@ -1,0 +1,271 @@
+//! Single-source shortest paths (Dijkstra).
+//!
+//! This is the workhorse of every stretch measurement: energy-stretch and
+//! distance-stretch (paper §2.2, §2.3) are ratios of shortest-path costs in
+//! the topology `𝒩` versus the full transmission graph `G*`.
+
+use crate::graph::{Graph, NodeId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Result of a single-source shortest-path computation.
+#[derive(Debug, Clone)]
+pub struct ShortestPaths {
+    pub source: NodeId,
+    /// `dist[v]` = cost of the cheapest path source→v (`f64::INFINITY` if
+    /// unreachable).
+    pub dist: Vec<f64>,
+    /// `parent[v]` = predecessor of `v` on one cheapest path
+    /// (`u32::MAX` for the source and unreachable nodes).
+    pub parent: Vec<NodeId>,
+}
+
+impl ShortestPaths {
+    /// Is `v` reachable from the source?
+    pub fn reachable(&self, v: NodeId) -> bool {
+        self.dist[v as usize].is_finite()
+    }
+
+    /// Reconstruct the node sequence source→…→`v`, or `None` if
+    /// unreachable.
+    pub fn path_to(&self, v: NodeId) -> Option<Vec<NodeId>> {
+        if !self.reachable(v) {
+            return None;
+        }
+        let mut path = vec![v];
+        let mut cur = v;
+        while cur != self.source {
+            cur = self.parent[cur as usize];
+            debug_assert!(cur != u32::MAX, "broken parent chain");
+            path.push(cur);
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// Number of hops of the reconstructed path to `v`.
+    pub fn hops_to(&self, v: NodeId) -> Option<usize> {
+        self.path_to(v).map(|p| p.len() - 1)
+    }
+}
+
+#[derive(PartialEq)]
+struct HeapItem {
+    dist: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapItem {}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on dist via reversed comparison; dist is always finite
+        // here (we only push finite tentative distances).
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Dijkstra from `source` over the whole graph.
+///
+/// # Panics
+/// Panics if `source` is out of range.
+pub fn dijkstra(g: &Graph, source: NodeId) -> ShortestPaths {
+    dijkstra_bounded(g, source, f64::INFINITY)
+}
+
+/// Dijkstra from `source`, abandoning nodes farther than `limit`.
+///
+/// Useful for the local analyses (e.g. checking stretch only over `G*`
+/// edges, whose endpoints are within one transmission range).
+pub fn dijkstra_bounded(g: &Graph, source: NodeId, limit: f64) -> ShortestPaths {
+    let n = g.num_nodes();
+    assert!((source as usize) < n, "source {source} out of range");
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent = vec![u32::MAX; n];
+    let mut heap = BinaryHeap::with_capacity(n.min(1024));
+    dist[source as usize] = 0.0;
+    heap.push(HeapItem {
+        dist: 0.0,
+        node: source,
+    });
+    while let Some(HeapItem { dist: d, node: u }) = heap.pop() {
+        if d > dist[u as usize] {
+            continue; // stale entry
+        }
+        for a in g.neighbors(u) {
+            let nd = d + a.weight;
+            if nd < dist[a.to as usize] && nd <= limit {
+                dist[a.to as usize] = nd;
+                parent[a.to as usize] = u;
+                heap.push(HeapItem { dist: nd, node: a.to });
+            }
+        }
+    }
+    ShortestPaths {
+        source,
+        dist,
+        parent,
+    }
+}
+
+/// Cheapest path between two nodes as `(cost, node sequence)`, or `None`
+/// if disconnected.
+pub fn dijkstra_path(g: &Graph, source: NodeId, target: NodeId) -> Option<(f64, Vec<NodeId>)> {
+    let sp = dijkstra(g, source);
+    sp.path_to(target).map(|p| (sp.dist[target as usize], p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    /// 0 --1-- 1 --1-- 2      3 (isolated)
+    ///  \______5______/
+    fn diamond() -> Graph {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 2, 1.0);
+        b.add_edge(0, 2, 5.0);
+        b.build()
+    }
+
+    #[test]
+    fn shortest_prefers_two_hops() {
+        let g = diamond();
+        let sp = dijkstra(&g, 0);
+        assert_eq!(sp.dist[2], 2.0);
+        assert_eq!(sp.path_to(2), Some(vec![0, 1, 2]));
+        assert_eq!(sp.hops_to(2), Some(2));
+    }
+
+    #[test]
+    fn unreachable_is_infinite() {
+        let g = diamond();
+        let sp = dijkstra(&g, 0);
+        assert!(!sp.reachable(3));
+        assert_eq!(sp.path_to(3), None);
+        assert_eq!(sp.hops_to(3), None);
+    }
+
+    #[test]
+    fn source_distance_zero() {
+        let g = diamond();
+        let sp = dijkstra(&g, 1);
+        assert_eq!(sp.dist[1], 0.0);
+        assert_eq!(sp.path_to(1), Some(vec![1]));
+        assert_eq!(sp.hops_to(1), Some(0));
+    }
+
+    #[test]
+    fn bounded_cuts_off() {
+        let g = diamond();
+        let sp = dijkstra_bounded(&g, 0, 1.5);
+        assert_eq!(sp.dist[1], 1.0);
+        assert!(!sp.reachable(2)); // would cost 2.0 > 1.5
+    }
+
+    #[test]
+    fn path_endpoints() {
+        let g = diamond();
+        let (cost, path) = dijkstra_path(&g, 2, 0).unwrap();
+        assert_eq!(cost, 2.0);
+        assert_eq!(*path.first().unwrap(), 2);
+        assert_eq!(*path.last().unwrap(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_source_panics() {
+        dijkstra(&diamond(), 99);
+    }
+
+    #[test]
+    fn zero_weight_edges_ok() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 0.0);
+        b.add_edge(1, 2, 0.0);
+        let g = b.build();
+        let sp = dijkstra(&g, 0);
+        assert_eq!(sp.dist[2], 0.0);
+        assert_eq!(sp.hops_to(2), Some(2));
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_graphs() {
+        use rand::prelude::*;
+        use rand_chacha::ChaCha8Rng;
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        for trial in 0..20 {
+            let n = rng.gen_range(2..30);
+            let mut b = GraphBuilder::new(n);
+            for u in 0..n as u32 {
+                for v in (u + 1)..n as u32 {
+                    if rng.gen_bool(0.3) {
+                        b.add_edge(u, v, rng.gen_range(0.0..10.0));
+                    }
+                }
+            }
+            let g = b.build();
+            let sp = dijkstra(&g, 0);
+            // Bellman-Ford as oracle
+            let mut bf = vec![f64::INFINITY; n];
+            bf[0] = 0.0;
+            for _ in 0..n {
+                for (u, v, w) in g.edges() {
+                    let (u, v) = (u as usize, v as usize);
+                    if bf[u] + w < bf[v] {
+                        bf[v] = bf[u] + w;
+                    }
+                    if bf[v] + w < bf[u] {
+                        bf[u] = bf[v] + w;
+                    }
+                }
+            }
+            for v in 0..n {
+                let (a, b2) = (sp.dist[v], bf[v]);
+                assert!(
+                    (a.is_infinite() && b2.is_infinite()) || (a - b2).abs() < 1e-9,
+                    "trial {trial}: node {v}: dijkstra {a} vs bellman-ford {b2}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn path_cost_matches_dist() {
+        use rand::prelude::*;
+        use rand_chacha::ChaCha8Rng;
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let n = 25;
+        let mut b = GraphBuilder::new(n);
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                if rng.gen_bool(0.2) {
+                    b.add_edge(u, v, rng.gen_range(0.1..5.0));
+                }
+            }
+        }
+        let g = b.build();
+        let sp = dijkstra(&g, 0);
+        for v in 0..n as u32 {
+            if let Some(path) = sp.path_to(v) {
+                let cost: f64 = path
+                    .windows(2)
+                    .map(|w| g.edge_weight(w[0], w[1]).unwrap())
+                    .sum();
+                assert!((cost - sp.dist[v as usize]).abs() < 1e-9);
+            }
+        }
+    }
+}

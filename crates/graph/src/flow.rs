@@ -1,0 +1,267 @@
+//! Maximum flow (Dinic's algorithm).
+//!
+//! Used by the experiment harness to compute *information-theoretic
+//! throughput upper bounds*: the per-step packet flow any routing
+//! algorithm can push from sources to a sink is at most the min cut of
+//! the topology with unit edge capacities. Comparing measured balancing
+//! throughput against this bound turns "competitive against
+//! OPT-by-construction" into "competitive against a certified ceiling".
+
+/// A directed flow network on `n` nodes.
+#[derive(Debug, Clone)]
+pub struct FlowNetwork {
+    /// head node of each arc
+    to: Vec<u32>,
+    /// residual capacity of each arc
+    cap: Vec<f64>,
+    /// adjacency: arc ids per node
+    adj: Vec<Vec<u32>>,
+}
+
+impl FlowNetwork {
+    /// Empty network on `n` nodes.
+    pub fn new(n: usize) -> Self {
+        FlowNetwork {
+            to: Vec::new(),
+            cap: Vec::new(),
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Add a directed arc `u → v` with capacity `c` (and its residual
+    /// reverse arc of capacity 0).
+    ///
+    /// # Panics
+    /// Panics on out-of-range endpoints or negative/NaN capacity.
+    pub fn add_arc(&mut self, u: u32, v: u32, c: f64) {
+        assert!(
+            (u as usize) < self.adj.len() && (v as usize) < self.adj.len(),
+            "arc ({u},{v}) out of range"
+        );
+        assert!(c.is_finite() && c >= 0.0, "invalid capacity {c}");
+        let id = self.to.len() as u32;
+        self.to.push(v);
+        self.cap.push(c);
+        self.adj[u as usize].push(id);
+        self.to.push(u);
+        self.cap.push(0.0);
+        self.adj[v as usize].push(id + 1);
+    }
+
+    /// Add an undirected edge as two arcs of capacity `c` each.
+    pub fn add_undirected(&mut self, u: u32, v: u32, c: f64) {
+        self.add_arc(u, v, c);
+        self.add_arc(v, u, c);
+    }
+
+    fn bfs_levels(&self, s: u32, t: u32) -> Option<Vec<i32>> {
+        let mut level = vec![-1i32; self.adj.len()];
+        let mut queue = std::collections::VecDeque::new();
+        level[s as usize] = 0;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            for &a in &self.adj[u as usize] {
+                let v = self.to[a as usize];
+                if self.cap[a as usize] > 1e-12 && level[v as usize] < 0 {
+                    level[v as usize] = level[u as usize] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        (level[t as usize] >= 0).then_some(level)
+    }
+
+    fn dfs_push(
+        &mut self,
+        u: u32,
+        t: u32,
+        pushed: f64,
+        level: &[i32],
+        it: &mut [usize],
+    ) -> f64 {
+        if u == t {
+            return pushed;
+        }
+        while it[u as usize] < self.adj[u as usize].len() {
+            let a = self.adj[u as usize][it[u as usize]] as usize;
+            let v = self.to[a];
+            if self.cap[a] > 1e-12 && level[v as usize] == level[u as usize] + 1 {
+                let d = self.dfs_push(v, t, pushed.min(self.cap[a]), level, it);
+                if d > 1e-12 {
+                    self.cap[a] -= d;
+                    self.cap[a ^ 1] += d;
+                    return d;
+                }
+            }
+            it[u as usize] += 1;
+        }
+        0.0
+    }
+
+    /// Max flow from `s` to `t` (destroys residual capacities).
+    pub fn max_flow(&mut self, s: u32, t: u32) -> f64 {
+        assert_ne!(s, t, "source equals sink");
+        let mut flow = 0.0;
+        while let Some(level) = self.bfs_levels(s, t) {
+            let mut it = vec![0usize; self.adj.len()];
+            loop {
+                let pushed = self.dfs_push(s, t, f64::INFINITY, &level, &mut it);
+                if pushed <= 1e-12 {
+                    break;
+                }
+                flow += pushed;
+            }
+        }
+        flow
+    }
+}
+
+/// Min-cut (= max-flow) between `s` and `t` in an undirected graph with
+/// the given per-edge capacity.
+pub fn min_cut_undirected(
+    num_nodes: usize,
+    edges: impl Iterator<Item = (u32, u32, f64)>,
+    s: u32,
+    t: u32,
+) -> f64 {
+    let mut net = FlowNetwork::new(num_nodes);
+    for (u, v, c) in edges {
+        net.add_undirected(u, v, c);
+    }
+    net.max_flow(s, t)
+}
+
+/// Multi-source min-cut: the max simultaneous unit-capacity flow from the
+/// source set into `t` (adds a super-source).
+pub fn multi_source_min_cut(
+    num_nodes: usize,
+    edges: impl Iterator<Item = (u32, u32, f64)>,
+    sources: &[u32],
+    t: u32,
+) -> f64 {
+    let super_s = num_nodes as u32;
+    let mut net = FlowNetwork::new(num_nodes + 1);
+    let mut total_cap = 1.0;
+    for (u, v, c) in edges {
+        net.add_undirected(u, v, c);
+        total_cap += 2.0 * c;
+    }
+    // "Unbounded" source arcs: any finite value above the total edge
+    // capacity can never be the bottleneck.
+    for &s in sources {
+        net.add_arc(super_s, s, total_cap);
+    }
+    net.max_flow(super_s, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_edge() {
+        let mut net = FlowNetwork::new(2);
+        net.add_arc(0, 1, 3.5);
+        assert_eq!(net.max_flow(0, 1), 3.5);
+    }
+
+    #[test]
+    fn classic_diamond() {
+        //    1
+        //  /   \
+        // 0     3    two disjoint unit paths ⇒ flow 2
+        //  \   /
+        //    2
+        let mut net = FlowNetwork::new(4);
+        net.add_arc(0, 1, 1.0);
+        net.add_arc(0, 2, 1.0);
+        net.add_arc(1, 3, 1.0);
+        net.add_arc(2, 3, 1.0);
+        assert!((net.max_flow(0, 3) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bottleneck_respected() {
+        // 0 →(5)→ 1 →(1)→ 2: flow limited to 1.
+        let mut net = FlowNetwork::new(3);
+        net.add_arc(0, 1, 5.0);
+        net.add_arc(1, 2, 1.0);
+        assert!((net.max_flow(0, 2) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disconnected_is_zero() {
+        let mut net = FlowNetwork::new(3);
+        net.add_arc(0, 1, 1.0);
+        assert_eq!(net.max_flow(0, 2), 0.0);
+    }
+
+    #[test]
+    fn undirected_edges_carry_both_ways() {
+        let f = min_cut_undirected(3, [(0u32, 1u32, 1.0), (1, 2, 1.0)].into_iter(), 2, 0);
+        assert!((f - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_cut_matches_enumeration_on_small_graphs() {
+        use rand::prelude::*;
+        use rand_chacha::ChaCha8Rng;
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..20 {
+            let n = rng.gen_range(3..7usize);
+            let mut edges: Vec<(u32, u32, f64)> = Vec::new();
+            for u in 0..n as u32 {
+                for v in (u + 1)..n as u32 {
+                    if rng.gen_bool(0.6) {
+                        edges.push((u, v, rng.gen_range(0.5..3.0)));
+                    }
+                }
+            }
+            let flow = min_cut_undirected(n, edges.iter().copied(), 0, n as u32 - 1);
+            // Enumerate all s-t cuts.
+            let mut best = f64::INFINITY;
+            for mask in 0u32..(1 << n) {
+                if mask & 1 == 0 || mask & (1 << (n - 1)) != 0 {
+                    continue; // s must be inside, t outside
+                }
+                let cut: f64 = edges
+                    .iter()
+                    .filter(|&&(u, v, _)| {
+                        (mask >> u) & 1 != (mask >> v) & 1
+                    })
+                    .map(|&(_, _, c)| c)
+                    .sum();
+                best = best.min(cut);
+            }
+            assert!(
+                (flow - best).abs() < 1e-6,
+                "flow {flow} vs min cut {best} on {edges:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_source_aggregates() {
+        // Two sources, each with a unit path to t.
+        let edges = [(0u32, 2u32, 1.0), (1, 2, 1.0)];
+        let f = multi_source_min_cut(3, edges.into_iter(), &[0, 1], 2);
+        assert!((f - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn same_source_sink_panics() {
+        FlowNetwork::new(2).max_flow(0, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_capacity_panics() {
+        FlowNetwork::new(2).add_arc(0, 1, -1.0);
+    }
+}

@@ -1,0 +1,351 @@
+//! Compact undirected weighted graph.
+//!
+//! Built once from an edge list via [`GraphBuilder`], then immutable: a CSR
+//! (compressed sparse row) adjacency layout — one contiguous `offsets`
+//! array and one contiguous `targets` array — which is both cache-friendly
+//! for the Dijkstra-heavy analysis kernels and trivially shareable across
+//! rayon workers.
+
+use serde::{Deserialize, Serialize};
+
+/// Node identifier. `u32` keeps adjacency entries at 12 bytes.
+pub type NodeId = u32;
+
+/// An adjacency entry: neighbor id plus edge weight.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Adj {
+    pub to: NodeId,
+    pub weight: f64,
+}
+
+/// Immutable undirected weighted graph in CSR layout.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Graph {
+    offsets: Vec<u32>,
+    adj: Vec<Adj>,
+    num_edges: usize,
+}
+
+impl Graph {
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Neighbors of `u` with edge weights.
+    #[inline]
+    pub fn neighbors(&self, u: NodeId) -> &[Adj] {
+        let lo = self.offsets[u as usize] as usize;
+        let hi = self.offsets[u as usize + 1] as usize;
+        &self.adj[lo..hi]
+    }
+
+    /// Degree of `u`.
+    #[inline]
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.neighbors(u).len()
+    }
+
+    /// Maximum degree over all nodes (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_nodes() as NodeId)
+            .map(|u| self.degree(u))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Weight of edge `(u, v)` if present.
+    pub fn edge_weight(&self, u: NodeId, v: NodeId) -> Option<f64> {
+        self.neighbors(u)
+            .iter()
+            .find(|a| a.to == v)
+            .map(|a| a.weight)
+    }
+
+    /// True iff the edge `(u, v)` exists.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.edge_weight(u, v).is_some()
+    }
+
+    /// Iterate over each undirected edge once, as `(u, v, w)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, f64)> + '_ {
+        (0..self.num_nodes() as NodeId).flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .filter(move |a| u < a.to)
+                .map(move |a| (u, a.to, a.weight))
+        })
+    }
+
+    /// Total weight of all undirected edges.
+    pub fn total_weight(&self) -> f64 {
+        self.edges().map(|(_, _, w)| w).sum()
+    }
+
+    /// Build a graph with the same nodes but only the edges accepted by the
+    /// predicate.
+    pub fn filter_edges<F: FnMut(NodeId, NodeId, f64) -> bool>(&self, mut keep: F) -> Graph {
+        let mut b = GraphBuilder::new(self.num_nodes());
+        for (u, v, w) in self.edges() {
+            if keep(u, v, w) {
+                b.add_edge(u, v, w);
+            }
+        }
+        b.build()
+    }
+
+    /// Re-weight every edge through `f(u, v, old_weight)`.
+    pub fn map_weights<F: FnMut(NodeId, NodeId, f64) -> f64>(&self, mut f: F) -> Graph {
+        let mut b = GraphBuilder::new(self.num_nodes());
+        for (u, v, w) in self.edges() {
+            b.add_edge(u, v, f(u, v, w));
+        }
+        b.build()
+    }
+}
+
+/// Mutable edge-list accumulator that freezes into a [`Graph`].
+///
+/// Duplicate insertions of the same undirected edge keep the *minimum*
+/// weight (the natural semantics for cost graphs).
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    num_nodes: usize,
+    edges: Vec<(NodeId, NodeId, f64)>,
+}
+
+impl GraphBuilder {
+    /// Builder for a graph on `num_nodes` nodes (ids `0..num_nodes`).
+    pub fn new(num_nodes: usize) -> Self {
+        GraphBuilder {
+            num_nodes,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Builder with pre-reserved edge capacity.
+    pub fn with_capacity(num_nodes: usize, edges: usize) -> Self {
+        GraphBuilder {
+            num_nodes,
+            edges: Vec::with_capacity(edges),
+        }
+    }
+
+    /// Number of nodes this builder targets.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Add undirected edge `(u, v)` with weight `w`.
+    ///
+    /// # Panics
+    /// Panics on self-loops, out-of-range endpoints, or non-finite /
+    /// negative weights — all of these indicate bugs upstream.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, w: f64) {
+        assert!(u != v, "self-loop on node {u}");
+        assert!(
+            (u as usize) < self.num_nodes && (v as usize) < self.num_nodes,
+            "edge ({u},{v}) out of range for {} nodes",
+            self.num_nodes
+        );
+        assert!(w.is_finite() && w >= 0.0, "invalid edge weight {w}");
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        self.edges.push((a, b, w));
+    }
+
+    /// Number of (possibly duplicate) edges added so far.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True iff no edges were added.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Freeze into an immutable CSR [`Graph`], deduplicating parallel edges
+    /// (keeping the minimum weight).
+    pub fn build(mut self) -> Graph {
+        // Dedup parallel edges, keep min weight.
+        self.edges.sort_unstable_by(|a, b| {
+            (a.0, a.1)
+                .cmp(&(b.0, b.1))
+                .then(a.2.partial_cmp(&b.2).expect("finite weights"))
+        });
+        self.edges.dedup_by(|next, prev| {
+            // retain `prev` (smaller weight due to sort) when keys equal
+            next.0 == prev.0 && next.1 == prev.1
+        });
+        let num_edges = self.edges.len();
+
+        // Counting-sort CSR build over both directions.
+        let n = self.num_nodes;
+        let mut counts = vec![0u32; n + 1];
+        for &(u, v, _) in &self.edges {
+            counts[u as usize + 1] += 1;
+            counts[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut adj = vec![
+            Adj {
+                to: 0,
+                weight: 0.0
+            };
+            2 * num_edges
+        ];
+        for &(u, v, w) in &self.edges {
+            adj[cursor[u as usize] as usize] = Adj { to: v, weight: w };
+            cursor[u as usize] += 1;
+            adj[cursor[v as usize] as usize] = Adj { to: u, weight: w };
+            cursor[v as usize] += 1;
+        }
+
+        Graph {
+            offsets,
+            adj,
+            num_edges,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 2, 2.0);
+        b.add_edge(2, 0, 3.0);
+        b.build()
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = triangle();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn neighbors_and_weights() {
+        let g = triangle();
+        assert_eq!(g.edge_weight(0, 1), Some(1.0));
+        assert_eq!(g.edge_weight(1, 0), Some(1.0));
+        assert_eq!(g.edge_weight(1, 2), Some(2.0));
+        assert_eq!(g.edge_weight(0, 0), None);
+        assert!(g.has_edge(2, 0));
+        assert!(g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn edges_iterator_each_edge_once() {
+        let g = triangle();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 3);
+        for (u, v, _) in &edges {
+            assert!(u < v);
+        }
+        assert!((g.total_weight() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn isolated_nodes() {
+        let g = GraphBuilder::new(5).build();
+        assert_eq!(g.num_nodes(), 5);
+        for u in 0..5 {
+            assert_eq!(g.degree(u), 0);
+        }
+    }
+
+    #[test]
+    fn duplicate_edges_keep_min_weight() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, 5.0);
+        b.add_edge(1, 0, 2.0);
+        b.add_edge(0, 1, 9.0);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.edge_weight(0, 1), Some(2.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn self_loop_panics() {
+        GraphBuilder::new(2).add_edge(1, 1, 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_panics() {
+        GraphBuilder::new(2).add_edge(0, 2, 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn nan_weight_panics() {
+        GraphBuilder::new(2).add_edge(0, 1, f64::NAN);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_weight_panics() {
+        GraphBuilder::new(2).add_edge(0, 1, -1.0);
+    }
+
+    #[test]
+    fn filter_edges_keeps_subset() {
+        let g = triangle();
+        let h = g.filter_edges(|_, _, w| w < 2.5);
+        assert_eq!(h.num_edges(), 2);
+        assert!(h.has_edge(0, 1) && h.has_edge(1, 2) && !h.has_edge(0, 2));
+        assert_eq!(h.num_nodes(), 3);
+    }
+
+    #[test]
+    fn map_weights_transforms() {
+        let g = triangle();
+        let h = g.map_weights(|_, _, w| w * w);
+        assert_eq!(h.edge_weight(2, 0), Some(9.0));
+        assert_eq!(h.num_edges(), 3);
+    }
+
+    #[test]
+    fn builder_capacity_and_len() {
+        let mut b = GraphBuilder::with_capacity(4, 8);
+        assert!(b.is_empty());
+        b.add_edge(0, 3, 1.0);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.num_nodes(), 4);
+    }
+
+    #[test]
+    fn csr_layout_consistent() {
+        // adjacency of each node sums to 2m entries overall
+        let g = triangle();
+        let total: usize = (0..3).map(|u| g.neighbors(u).len()).sum();
+        assert_eq!(total, 2 * g.num_edges());
+    }
+}

@@ -1,0 +1,26 @@
+//! # adhoc-graph
+//!
+//! Graph substrate for the SPAA'03 reproduction. Node ids are `u32`
+//! (perf-book idiom: half the footprint of `usize` indices), graphs are
+//! stored in a CSR-like layout built once via [`GraphBuilder`], and the
+//! quadratic analysis kernels (all-pairs stretch) are rayon-parallel.
+//!
+//! Nothing in this crate knows about geometry; edge weights are opaque
+//! `f64` costs supplied by the caller (Euclidean length, `|uv|^κ` energy,
+//! hop count = 1.0, …).
+
+pub mod bfs;
+pub mod dijkstra;
+pub mod flow;
+pub mod graph;
+pub mod mst;
+pub mod stretch;
+pub mod union_find;
+
+pub use bfs::{bfs_hops, is_connected};
+pub use dijkstra::{dijkstra, dijkstra_path, ShortestPaths};
+pub use flow::{min_cut_undirected, multi_source_min_cut, FlowNetwork};
+pub use graph::{Graph, GraphBuilder, NodeId};
+pub use mst::kruskal_mst;
+pub use stretch::{pairwise_stretch, sampled_stretch, StretchStats};
+pub use union_find::UnionFind;

@@ -1,0 +1,109 @@
+//! Minimum spanning tree (Kruskal).
+//!
+//! The Euclidean MST is the sparsest connected baseline in the experiment
+//! suite: it has optimal total weight but unbounded stretch, the opposite
+//! trade-off from the paper's topology `𝒩`.
+
+use crate::graph::{Graph, GraphBuilder, NodeId};
+use crate::union_find::UnionFind;
+
+/// Kruskal's MST (a minimum spanning *forest* if the input is
+/// disconnected). Returns the forest as a graph on the same node set.
+pub fn kruskal_mst(g: &Graph) -> Graph {
+    let mut edges: Vec<(NodeId, NodeId, f64)> = g.edges().collect();
+    edges.sort_unstable_by(|a, b| a.2.partial_cmp(&b.2).expect("finite weights"));
+    let mut uf = UnionFind::new(g.num_nodes());
+    let mut b = GraphBuilder::with_capacity(g.num_nodes(), g.num_nodes().saturating_sub(1));
+    for (u, v, w) in edges {
+        if uf.union(u, v) {
+            b.add_edge(u, v, w);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::is_connected;
+
+    #[test]
+    fn mst_of_square_with_diagonal() {
+        // 4-cycle with unit edges plus an expensive diagonal: MST keeps 3
+        // unit edges.
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 2, 1.0);
+        b.add_edge(2, 3, 1.0);
+        b.add_edge(3, 0, 1.0);
+        b.add_edge(0, 2, 10.0);
+        let mst = kruskal_mst(&b.build());
+        assert_eq!(mst.num_edges(), 3);
+        assert!((mst.total_weight() - 3.0).abs() < 1e-12);
+        assert!(is_connected(&mst));
+    }
+
+    #[test]
+    fn mst_weight_is_minimal_vs_bruteforce() {
+        use rand::prelude::*;
+        use rand_chacha::ChaCha8Rng;
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        // Small complete graphs: compare against exhaustive spanning-tree
+        // enumeration via Prim-like greedy (which is exact).
+        for _ in 0..10 {
+            let n = rng.gen_range(3..8usize);
+            let mut b = GraphBuilder::new(n);
+            let mut w = vec![vec![0.0f64; n]; n];
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    let x = rng.gen_range(0.1..10.0);
+                    w[u][v] = x;
+                    w[v][u] = x;
+                    b.add_edge(u as u32, v as u32, x);
+                }
+            }
+            let g = b.build();
+            let mst = kruskal_mst(&g);
+            // Prim oracle
+            let mut in_tree = vec![false; n];
+            in_tree[0] = true;
+            let mut total = 0.0;
+            for _ in 1..n {
+                let mut best = f64::INFINITY;
+                let mut bi = 0;
+                for u in 0..n {
+                    if !in_tree[u] {
+                        continue;
+                    }
+                    for v in 0..n {
+                        if !in_tree[v] && w[u][v] < best {
+                            best = w[u][v];
+                            bi = v;
+                        }
+                    }
+                }
+                in_tree[bi] = true;
+                total += best;
+            }
+            assert!((mst.total_weight() - total).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn forest_on_disconnected_input() {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(2, 3, 1.0);
+        b.add_edge(3, 4, 2.0);
+        b.add_edge(2, 4, 5.0);
+        let mst = kruskal_mst(&b.build());
+        assert_eq!(mst.num_edges(), 3); // spanning forest
+        assert!(!mst.has_edge(2, 4));
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(kruskal_mst(&GraphBuilder::new(0).build()).num_edges(), 0);
+        assert_eq!(kruskal_mst(&GraphBuilder::new(1).build()).num_edges(), 0);
+    }
+}

@@ -1,0 +1,257 @@
+//! Stretch kernels.
+//!
+//! The *stretch* of a subgraph `H ⊆ G` under a cost function is
+//! `max_{u,v} dist_H(u,v) / dist_G(u,v)`. Instantiated with Euclidean edge
+//! weights this is the paper's distance-stretch (§2.3); with `|uv|^κ`
+//! weights it is the energy-stretch (§2.2). Theorem 2.2 asserts the
+//! energy-stretch of the ΘALG topology `𝒩` is `O(1)`.
+//!
+//! The all-pairs computation is `n` single-source Dijkstras on each graph,
+//! parallelized over sources with rayon (this is the dominant cost of the
+//! E2/E3 experiments).
+
+use crate::dijkstra::dijkstra;
+use crate::graph::{Graph, NodeId};
+use rayon::prelude::*;
+
+/// Aggregate stretch statistics over a set of node pairs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StretchStats {
+    /// Maximum finite stretch observed.
+    pub max: f64,
+    /// Mean stretch over all evaluated pairs.
+    pub avg: f64,
+    /// Number of (ordered) pairs evaluated.
+    pub pairs: usize,
+    /// Pairs connected in the reference graph but NOT in the subgraph.
+    /// Non-zero means the subgraph lost connectivity — infinite stretch.
+    pub disconnected_pairs: usize,
+}
+
+impl StretchStats {
+    /// True iff no pair had infinite stretch.
+    pub fn connectivity_preserved(&self) -> bool {
+        self.disconnected_pairs == 0
+    }
+
+    fn merge(self, other: StretchStats) -> StretchStats {
+        let pairs = self.pairs + other.pairs;
+        StretchStats {
+            max: self.max.max(other.max),
+            avg: if pairs == 0 {
+                0.0
+            } else {
+                (self.avg * self.pairs as f64 + other.avg * other.pairs as f64) / pairs as f64
+            },
+            pairs,
+            disconnected_pairs: self.disconnected_pairs + other.disconnected_pairs,
+        }
+    }
+
+    const EMPTY: StretchStats = StretchStats {
+        max: 0.0,
+        avg: 0.0,
+        pairs: 0,
+        disconnected_pairs: 0,
+    };
+}
+
+/// Stretch of `sub` relative to `reference` from one source node.
+fn source_stretch(sub: &Graph, reference: &Graph, s: NodeId) -> StretchStats {
+    let dr = dijkstra(reference, s);
+    let ds = dijkstra(sub, s);
+    let mut max = 0.0f64;
+    let mut sum = 0.0f64;
+    let mut pairs = 0usize;
+    let mut disconnected = 0usize;
+    for v in 0..reference.num_nodes() as NodeId {
+        if v == s {
+            continue;
+        }
+        let ref_d = dr.dist[v as usize];
+        if !ref_d.is_finite() {
+            continue; // pair not connected even in the reference
+        }
+        let sub_d = ds.dist[v as usize];
+        if !sub_d.is_finite() {
+            disconnected += 1;
+            continue;
+        }
+        if ref_d <= 0.0 {
+            // coincident nodes: any finite sub-distance of 0 matches; a
+            // positive sub-distance is an infinite ratio — count as
+            // stretch 1 when both are 0, skip otherwise (measure-zero
+            // degenerate input).
+            if sub_d <= 0.0 {
+                max = max.max(1.0);
+                sum += 1.0;
+                pairs += 1;
+            }
+            continue;
+        }
+        let ratio = sub_d / ref_d;
+        max = max.max(ratio);
+        sum += ratio;
+        pairs += 1;
+    }
+    StretchStats {
+        max,
+        avg: if pairs == 0 { 0.0 } else { sum / pairs as f64 },
+        pairs,
+        disconnected_pairs: disconnected,
+    }
+}
+
+/// Exact all-pairs stretch of `sub` relative to `reference`
+/// (rayon-parallel over sources).
+///
+/// # Panics
+/// Panics if the two graphs have different node counts.
+pub fn pairwise_stretch(sub: &Graph, reference: &Graph) -> StretchStats {
+    assert_eq!(
+        sub.num_nodes(),
+        reference.num_nodes(),
+        "graphs must share a node set"
+    );
+    (0..reference.num_nodes() as NodeId)
+        .into_par_iter()
+        .map(|s| source_stretch(sub, reference, s))
+        .reduce(|| StretchStats::EMPTY, StretchStats::merge)
+}
+
+/// Stretch estimated from the given subset of source nodes only
+/// (each paired against all destinations). Linear in `sources.len()`.
+pub fn sampled_stretch(sub: &Graph, reference: &Graph, sources: &[NodeId]) -> StretchStats {
+    assert_eq!(
+        sub.num_nodes(),
+        reference.num_nodes(),
+        "graphs must share a node set"
+    );
+    sources
+        .par_iter()
+        .map(|&s| source_stretch(sub, reference, s))
+        .reduce(|| StretchStats::EMPTY, StretchStats::merge)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    /// Reference: triangle with a unit shortcut 0-2; sub drops the shortcut.
+    fn setup() -> (Graph, Graph) {
+        let mut reference = GraphBuilder::new(3);
+        reference.add_edge(0, 1, 1.0);
+        reference.add_edge(1, 2, 1.0);
+        reference.add_edge(0, 2, 1.0);
+        let mut sub = GraphBuilder::new(3);
+        sub.add_edge(0, 1, 1.0);
+        sub.add_edge(1, 2, 1.0);
+        (sub.build(), reference.build())
+    }
+
+    #[test]
+    fn identity_subgraph_has_stretch_one() {
+        let (_, reference) = setup();
+        let st = pairwise_stretch(&reference, &reference);
+        assert!((st.max - 1.0).abs() < 1e-12);
+        assert!((st.avg - 1.0).abs() < 1e-12);
+        assert!(st.connectivity_preserved());
+        assert_eq!(st.pairs, 6); // ordered pairs
+    }
+
+    #[test]
+    fn dropped_shortcut_doubles_stretch() {
+        let (sub, reference) = setup();
+        let st = pairwise_stretch(&sub, &reference);
+        assert!((st.max - 2.0).abs() < 1e-12); // 0->2 now costs 2
+        assert!(st.avg > 1.0 && st.avg < 2.0);
+        assert!(st.connectivity_preserved());
+    }
+
+    #[test]
+    fn disconnection_is_reported() {
+        let mut reference = GraphBuilder::new(3);
+        reference.add_edge(0, 1, 1.0);
+        reference.add_edge(1, 2, 1.0);
+        let sub = GraphBuilder::new(3); // empty
+        let st = pairwise_stretch(&sub.build(), &reference.build());
+        assert!(!st.connectivity_preserved());
+        assert_eq!(st.pairs, 0);
+        assert_eq!(st.disconnected_pairs, 6);
+    }
+
+    #[test]
+    fn sampled_subset_of_sources() {
+        let (sub, reference) = setup();
+        let st = sampled_stretch(&sub, &reference, &[0]);
+        assert!((st.max - 2.0).abs() < 1e-12);
+        assert_eq!(st.pairs, 2); // 0->1 and 0->2
+    }
+
+    #[test]
+    fn sampled_empty_sources() {
+        let (sub, reference) = setup();
+        let st = sampled_stretch(&sub, &reference, &[]);
+        assert_eq!(st.pairs, 0);
+        assert_eq!(st.max, 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_node_sets_panic() {
+        let (sub, _) = setup();
+        let reference = GraphBuilder::new(5).build();
+        pairwise_stretch(&sub, &reference);
+    }
+
+    #[test]
+    fn stretch_never_below_one_for_subgraphs() {
+        // A true subgraph can never beat the reference.
+        use rand::prelude::*;
+        use rand_chacha::ChaCha8Rng;
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        for _ in 0..10 {
+            let n = rng.gen_range(4..20usize);
+            let mut full = GraphBuilder::new(n);
+            let mut kept = GraphBuilder::new(n);
+            for u in 0..n as u32 {
+                for v in (u + 1)..n as u32 {
+                    if rng.gen_bool(0.5) {
+                        let w = rng.gen_range(0.1..3.0);
+                        full.add_edge(u, v, w);
+                        if rng.gen_bool(0.7) {
+                            kept.add_edge(u, v, w);
+                        }
+                    }
+                }
+            }
+            let st = pairwise_stretch(&kept.build(), &full.build());
+            if st.pairs > 0 {
+                assert!(st.max >= 1.0 - 1e-12);
+                assert!(st.avg >= 1.0 - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn merge_weighted_average() {
+        let a = StretchStats {
+            max: 2.0,
+            avg: 2.0,
+            pairs: 1,
+            disconnected_pairs: 0,
+        };
+        let b = StretchStats {
+            max: 1.0,
+            avg: 1.0,
+            pairs: 3,
+            disconnected_pairs: 2,
+        };
+        let m = a.merge(b);
+        assert_eq!(m.pairs, 4);
+        assert_eq!(m.disconnected_pairs, 2);
+        assert!((m.avg - 1.25).abs() < 1e-12);
+        assert_eq!(m.max, 2.0);
+    }
+}

@@ -1,0 +1,316 @@
+//! The honeycomb contestant-selection MAC of §3.4 (fixed transmission
+//! strength).
+//!
+//! The plane is tiled by hexagons of side `3 + 2Δ` (paper Figure 5). Every
+//! candidate sender–receiver pair `(s, t)` (with `|st| ≤ 1`, the fixed
+//! unit range) is assigned to the hexagon containing `s`, and carries a
+//! *benefit* (the routing layer supplies the maximum buffer-height
+//! difference). Within each hexagon only the maximum-benefit pair may
+//! contest the channel; a contestant actually transmits with probability
+//! `p_t ≤ 1/6`, which guarantees (Lemma 3.7) that each contestant sees no
+//! interfering co-selected contestant with probability ≥ 1/2. Lemma 3.6
+//! guarantees the contestants' total benefit is within a constant `c_b` of
+//! the best independent pair set's benefit.
+
+use crate::model::Transmission;
+use adhoc_geom::{HexCoord, HexGrid, Point};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// A candidate sender–receiver pair with its benefit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Candidate {
+    /// Sender → receiver link (indices into the shared position table).
+    pub link: Transmission,
+    /// Benefit (max buffer-height difference over destinations).
+    pub benefit: f64,
+}
+
+/// The honeycomb MAC bound to a guard-zone parameter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HoneycombMac {
+    grid: HexGrid,
+    /// Benefit threshold `T`: only pairs with benefit > T contest.
+    pub threshold: f64,
+    /// Transmission probability `p_t` (paper requires `p_t ≤ 1/6` for
+    /// Lemma 3.7).
+    pub p_t: f64,
+}
+
+/// Result of one contest round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HoneycombOutcome {
+    /// Indices (into the candidate slice) of the per-hexagon winners whose
+    /// benefit exceeds the threshold.
+    pub contestants: Vec<usize>,
+    /// Indices of contestants that chose to transmit this step.
+    pub selected: Vec<usize>,
+}
+
+impl HoneycombMac {
+    /// Honeycomb MAC for guard zone `Δ` with threshold `T` and
+    /// transmission probability `p_t`.
+    ///
+    /// # Panics
+    /// Panics unless `Δ > 0` and `p_t ∈ (0, 1]`.
+    pub fn new(delta: f64, threshold: f64, p_t: f64) -> Self {
+        assert!(delta > 0.0, "Δ must be positive");
+        assert!(p_t > 0.0 && p_t <= 1.0, "p_t must be in (0,1], got {p_t}");
+        HoneycombMac {
+            grid: HexGrid::for_guard_zone(delta),
+            threshold,
+            p_t,
+        }
+    }
+
+    /// The paper's default transmission probability `p_t = 1/6`.
+    pub fn with_paper_pt(delta: f64, threshold: f64) -> Self {
+        HoneycombMac::new(delta, threshold, 1.0 / 6.0)
+    }
+
+    /// The hexagon tiling in use.
+    pub fn grid(&self) -> HexGrid {
+        self.grid
+    }
+
+    /// Hexagon a candidate is assigned to (the cell containing its
+    /// *sender*).
+    pub fn hexagon_of(&self, positions: &[Point], c: &Candidate) -> HexCoord {
+        self.grid.hex_of(positions[c.link.a as usize])
+    }
+
+    /// Deterministic part of the contest: per-hexagon max-benefit winners
+    /// with benefit > T. Ties broken by candidate index.
+    pub fn contestants(&self, positions: &[Point], candidates: &[Candidate]) -> Vec<usize> {
+        let mut best: HashMap<HexCoord, usize> = HashMap::new();
+        for (i, c) in candidates.iter().enumerate() {
+            let h = self.hexagon_of(positions, c);
+            match best.entry(h) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(i);
+                }
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    let cur = *e.get();
+                    if c.benefit > candidates[cur].benefit {
+                        e.insert(i);
+                    }
+                }
+            }
+        }
+        let mut winners: Vec<usize> = best
+            .into_values()
+            .filter(|&i| candidates[i].benefit > self.threshold)
+            .collect();
+        winners.sort_unstable();
+        winners
+    }
+
+    /// Full contest round: contestants, then independent `p_t` coin flips.
+    pub fn contest<R: Rng + ?Sized>(
+        &self,
+        positions: &[Point],
+        candidates: &[Candidate],
+        rng: &mut R,
+    ) -> HoneycombOutcome {
+        let contestants = self.contestants(positions, candidates);
+        let selected = contestants
+            .iter()
+            .copied()
+            .filter(|_| rng.gen_bool(self.p_t))
+            .collect();
+        HoneycombOutcome {
+            contestants,
+            selected,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::pairs_independent;
+    use rand::prelude::*;
+    use rand_chacha::ChaCha8Rng;
+
+    fn cand(a: u32, b: u32, benefit: f64) -> Candidate {
+        Candidate {
+            link: Transmission::new(a, b),
+            benefit,
+        }
+    }
+
+    #[test]
+    fn one_winner_per_hexagon() {
+        let mac = HoneycombMac::with_paper_pt(0.5, 0.0);
+        // Hexagons have side 4 — all these senders are in the same cell.
+        let positions = vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.5, 0.0),
+            Point::new(0.2, 0.2),
+            Point::new(0.7, 0.2),
+        ];
+        let candidates = vec![cand(0, 1, 3.0), cand(2, 3, 5.0)];
+        let winners = mac.contestants(&positions, &candidates);
+        assert_eq!(winners, vec![1]); // higher benefit wins
+    }
+
+    #[test]
+    fn threshold_filters() {
+        let mac = HoneycombMac::with_paper_pt(0.5, 10.0);
+        let positions = vec![Point::new(0.0, 0.0), Point::new(0.5, 0.0)];
+        let candidates = vec![cand(0, 1, 3.0)];
+        assert!(mac.contestants(&positions, &candidates).is_empty());
+        let mac2 = HoneycombMac::with_paper_pt(0.5, 2.0);
+        assert_eq!(mac2.contestants(&positions, &candidates), vec![0]);
+    }
+
+    #[test]
+    fn distinct_hexagons_both_win() {
+        let mac = HoneycombMac::with_paper_pt(0.5, 0.0);
+        // Side-4 hexagons: senders 30 apart are in different cells.
+        let positions = vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.5, 0.0),
+            Point::new(30.0, 0.0),
+            Point::new(30.5, 0.0),
+        ];
+        let candidates = vec![cand(0, 1, 1.0), cand(2, 3, 1.0)];
+        assert_eq!(mac.contestants(&positions, &candidates), vec![0, 1]);
+    }
+
+    #[test]
+    fn tie_break_keeps_first_candidate() {
+        let mac = HoneycombMac::with_paper_pt(0.5, 0.0);
+        let positions = vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.5, 0.0),
+            Point::new(0.1, 0.0),
+            Point::new(0.6, 0.0),
+        ];
+        let candidates = vec![cand(0, 1, 2.0), cand(2, 3, 2.0)];
+        assert_eq!(mac.contestants(&positions, &candidates), vec![0]);
+    }
+
+    #[test]
+    fn selection_probability_close_to_pt() {
+        let mac = HoneycombMac::with_paper_pt(0.5, 0.0);
+        let positions = vec![Point::new(0.0, 0.0), Point::new(0.5, 0.0)];
+        let candidates = vec![cand(0, 1, 1.0)];
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let trials = 6000;
+        let mut hits = 0;
+        for _ in 0..trials {
+            hits += mac.contest(&positions, &candidates, &mut rng).selected.len();
+        }
+        let p = hits as f64 / trials as f64;
+        assert!((p - 1.0 / 6.0).abs() < 0.02, "p̂={p}");
+    }
+
+    #[test]
+    fn lemma_3_7_no_interfering_contestant_with_prob_half() {
+        // Pack contestants densely: one candidate pair per hexagon over a
+        // 7×7 block of hexagons, all mutually CLOSE enough that adjacent
+        // cells interfere. With p_t = 1/6, each contestant must see no
+        // other *selected* contestant within 1+Δ with probability ≥ 1/2.
+        let delta = 0.5;
+        let mac = HoneycombMac::with_paper_pt(delta, 0.0);
+        let grid = mac.grid();
+        let mut positions = Vec::new();
+        let mut candidates = Vec::new();
+        for q in -3..=3 {
+            for r in -3..=3 {
+                let c = grid.center(HexCoord::new(q, r));
+                let s = positions.len() as u32;
+                positions.push(c);
+                positions.push(Point::new(c.x + 0.9, c.y));
+                candidates.push(cand(s, s + 1, 1.0));
+            }
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        let trials = 2000;
+        let mut contestant_events = 0usize;
+        let mut clean = 0usize;
+        for _ in 0..trials {
+            let out = mac.contest(&positions, &candidates, &mut rng);
+            for &i in &out.selected {
+                contestant_events += 1;
+                let me = candidates[i];
+                let alone = out.selected.iter().all(|&j| {
+                    j == i || {
+                        let other = candidates[j];
+                        // interfering iff some endpoint pair within 1+Δ
+                        let mut far = true;
+                        for &x in &[me.link.a, me.link.b] {
+                            for &y in &[other.link.a, other.link.b] {
+                                if positions[x as usize].dist(positions[y as usize])
+                                    <= 1.0 + delta
+                                {
+                                    far = false;
+                                }
+                            }
+                        }
+                        far
+                    }
+                });
+                clean += alone as usize;
+            }
+        }
+        assert!(contestant_events > 100);
+        let p = clean as f64 / contestant_events as f64;
+        assert!(p >= 0.5, "P[no interfering selected contestant] = {p} < 1/2");
+    }
+
+    #[test]
+    fn lemma_3_6_contestant_benefit_vs_best_independent_set() {
+        // Small instance: compare the contestants' benefit sum against the
+        // exact max-benefit independent set (brute force over subsets).
+        let delta = 0.5;
+        let mac = HoneycombMac::with_paper_pt(delta, 0.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        let mut positions = Vec::new();
+        let mut candidates = Vec::new();
+        for _ in 0..12 {
+            let s = Point::new(rng.gen_range(0.0..12.0), rng.gen_range(0.0..12.0));
+            let t = Point::new(s.x + rng.gen_range(0.1..0.9), s.y);
+            let a = positions.len() as u32;
+            positions.push(s);
+            positions.push(t);
+            candidates.push(cand(a, a + 1, rng.gen_range(0.5..5.0)));
+        }
+        let winners = mac.contestants(&positions, &candidates);
+        let winner_benefit: f64 = winners.iter().map(|&i| candidates[i].benefit).sum();
+        // Brute-force max-weight independent subset.
+        let mut best = 0.0f64;
+        for mask in 0u32..(1 << candidates.len()) {
+            let subset: Vec<_> = (0..candidates.len())
+                .filter(|&i| mask & (1 << i) != 0)
+                .map(|i| candidates[i].link)
+                .collect();
+            if pairs_independent(&positions, &subset, delta) {
+                let w: f64 = (0..candidates.len())
+                    .filter(|&i| mask & (1 << i) != 0)
+                    .map(|i| candidates[i].benefit)
+                    .sum();
+                best = best.max(w);
+            }
+        }
+        assert!(best > 0.0);
+        // Lemma 3.6 constant c_b: we assert a generous bound.
+        assert!(
+            winner_benefit * 24.0 >= best,
+            "contestants {winner_benefit} vs independent optimum {best}"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_pt_rejected() {
+        HoneycombMac::new(0.5, 0.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_delta_rejected() {
+        HoneycombMac::new(0.0, 0.0, 0.1);
+    }
+}

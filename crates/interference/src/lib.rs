@@ -1,0 +1,33 @@
+//! # adhoc-interference
+//!
+//! The pairwise guard-zone interference model of paper §2.4 and the MAC
+//! (medium access control) protocols of §3.3–3.4.
+//!
+//! * [`model`] — interference regions
+//!   `IR(X, Y) = C(X, (1+Δ)|XY|) ∪ C(Y, (1+Δ)|XY|)`, the success predicate
+//!   for sets of simultaneous transmissions, and the edge-level
+//!   "interferes with" relation.
+//! * [`sets`] — interference sets `I(e)` and the interference number
+//!   `I = max_e |I(e)|` of a topology (Lemma 2.10: `O(log n)` whp for
+//!   uniform random nodes — experiment E4).
+//! * [`mac`] — the randomized symmetry-breaking MAC of §3.3: every edge
+//!   activates with probability `1/(2 I_e)`, which caps the per-edge
+//!   conflict probability at 1/2 (Lemma 3.2 — experiment E7).
+//! * [`hexmac`] — the honeycomb contestant selection of §3.4 for fixed
+//!   transmission strength (Lemmas 3.6/3.7, Theorem 3.8 — experiment E9).
+
+pub mod hexmac;
+pub mod mac;
+pub mod model;
+pub mod sets;
+pub mod sinr;
+pub mod tdma;
+
+pub use hexmac::{HoneycombMac, HoneycombOutcome};
+pub use mac::{ActivationRule, RandomizedMac};
+pub use model::{
+    edge_interferes, pairs_independent, successful_transmissions, InterferenceModel, Transmission,
+};
+pub use sets::{interference_number, interference_sets, EdgeList};
+pub use sinr::{DisagreementReport, PowerPolicy, SinrModel};
+pub use tdma::{tdma_schedule, TdmaSchedule};

@@ -1,0 +1,224 @@
+//! The randomized symmetry-breaking MAC of §3.3.
+//!
+//! Every edge `e` offered by the topology control layer becomes *active*
+//! with probability `1/(2 I_e)`, where `I_e` is an upper bound on the
+//! interference number of any edge that `e` interferes with. Lemma 3.2:
+//! under this rule every active edge has probability at most 1/2 of
+//! interfering with another active edge — so in expectation at least half
+//! the activations are usable, which yields the `Ω(1/I)` throughput of
+//! Theorem 3.3.
+
+use crate::model::InterferenceModel;
+use crate::sets::{interference_sets, EdgeList};
+use adhoc_proximity::SpatialGraph;
+use rand::Rng;
+
+/// How the per-edge bound `I_e` is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActivationRule {
+    /// Use the global interference number `I` for every edge (what the
+    /// theorem statements assume).
+    GlobalBound,
+    /// Use the local bound `I_e = max(|I(e)|, max_{e'∈I(e)} |I(e')|)` —
+    /// each node only needs knowledge of its neighborhood, matching the
+    /// paper's remark that a local upper bound suffices in the plane.
+    Local,
+}
+
+/// The randomized MAC protocol bound to a concrete topology.
+#[derive(Debug, Clone)]
+pub struct RandomizedMac {
+    edge_list: EdgeList,
+    /// `I(e)` as sorted edge-id lists.
+    sets: Vec<Vec<u32>>,
+    /// The per-edge activation bound `I_e` (≥ 1).
+    i_e: Vec<usize>,
+    /// Global interference number.
+    interference_number: usize,
+}
+
+impl RandomizedMac {
+    /// Precompute interference sets and per-edge bounds for `sg`.
+    pub fn new(sg: &SpatialGraph, model: InterferenceModel, rule: ActivationRule) -> Self {
+        let (edge_list, sets) = interference_sets(sg, model);
+        let global = sets.iter().map(|s| s.len()).max().unwrap_or(0);
+        let i_e = match rule {
+            ActivationRule::GlobalBound => vec![global.max(1); sets.len()],
+            ActivationRule::Local => sets
+                .iter()
+                .map(|s| {
+                    let own = s.len();
+                    let nb = s
+                        .iter()
+                        .map(|&f| sets[f as usize].len())
+                        .max()
+                        .unwrap_or(0);
+                    own.max(nb).max(1)
+                })
+                .collect(),
+        };
+        RandomizedMac {
+            edge_list,
+            sets,
+            i_e,
+            interference_number: global,
+        }
+    }
+
+    /// The underlying edge list.
+    pub fn edge_list(&self) -> &EdgeList {
+        &self.edge_list
+    }
+
+    /// Interference set of edge `e` (sorted edge ids).
+    pub fn interference_set(&self, e: u32) -> &[u32] {
+        &self.sets[e as usize]
+    }
+
+    /// The global interference number `I`.
+    pub fn interference_number(&self) -> usize {
+        self.interference_number
+    }
+
+    /// The per-edge bound `I_e`.
+    pub fn bound(&self, e: u32) -> usize {
+        self.i_e[e as usize]
+    }
+
+    /// Activation probability of edge `e`: `1/(2 I_e)`.
+    pub fn activation_probability(&self, e: u32) -> f64 {
+        1.0 / (2.0 * self.i_e[e as usize] as f64)
+    }
+
+    /// Sample the active edge set for one step.
+    pub fn sample_active<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<u32> {
+        (0..self.edge_list.len() as u32)
+            .filter(|&e| rng.gen_bool(self.activation_probability(e)))
+            .collect()
+    }
+
+    /// Of the given active edges, which are *conflict-free* (no other
+    /// active edge lies in their interference set)? Transmissions on
+    /// conflicting edges would fail (§3.3: "if the algorithm decides to
+    /// send packets along two active edges that interfere with each
+    /// other, then neither of the transmissions is successful").
+    pub fn conflict_free(&self, active: &[u32]) -> Vec<bool> {
+        let mut is_active = vec![false; self.edge_list.len()];
+        for &e in active {
+            is_active[e as usize] = true;
+        }
+        active
+            .iter()
+            .map(|&e| {
+                self.sets[e as usize]
+                    .iter()
+                    .all(|&f| !is_active[f as usize])
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adhoc_geom::Point;
+    use adhoc_proximity::unit_disk_graph;
+    use rand::prelude::*;
+    use rand_chacha::ChaCha8Rng;
+
+    fn uniform(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new(rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect()
+    }
+
+    fn mac(seed: u64, rule: ActivationRule) -> RandomizedMac {
+        let points = uniform(150, seed);
+        let sg = unit_disk_graph(&points, 0.18);
+        RandomizedMac::new(&sg, InterferenceModel::new(0.5), rule)
+    }
+
+    #[test]
+    fn probabilities_in_range() {
+        let m = mac(3, ActivationRule::Local);
+        for e in 0..m.edge_list().len() as u32 {
+            let p = m.activation_probability(e);
+            assert!(p > 0.0 && p <= 0.5, "edge {e}: p={p}");
+            assert!(m.bound(e) >= 1);
+        }
+    }
+
+    #[test]
+    fn global_rule_uniform_probability() {
+        let m = mac(5, ActivationRule::GlobalBound);
+        let p0 = m.activation_probability(0);
+        for e in 0..m.edge_list().len() as u32 {
+            assert_eq!(m.activation_probability(e), p0);
+        }
+        assert!((p0 - 1.0 / (2.0 * m.interference_number().max(1) as f64)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn local_bound_dominates_own_set_size() {
+        let m = mac(7, ActivationRule::Local);
+        for e in 0..m.edge_list().len() as u32 {
+            assert!(m.bound(e) >= m.interference_set(e).len());
+        }
+    }
+
+    #[test]
+    fn lemma_3_2_interference_probability_at_most_half() {
+        // Empirical check of Lemma 3.2 under the LOCAL rule: for each
+        // sampled active edge, the probability that some other active edge
+        // interferes with it is ≤ 1/2 (we allow a small sampling margin).
+        for rule in [ActivationRule::GlobalBound, ActivationRule::Local] {
+            let m = mac(11, rule);
+            let mut rng = ChaCha8Rng::seed_from_u64(999);
+            let mut active_count = 0usize;
+            let mut conflicted = 0usize;
+            for _ in 0..400 {
+                let active = m.sample_active(&mut rng);
+                let free = m.conflict_free(&active);
+                active_count += active.len();
+                conflicted += free.iter().filter(|&&ok| !ok).count();
+            }
+            assert!(active_count > 0, "sampling produced no activations");
+            let p = conflicted as f64 / active_count as f64;
+            assert!(p <= 0.55, "{rule:?}: empirical conflict probability {p} > 1/2");
+        }
+    }
+
+    #[test]
+    fn conflict_free_detects_conflicts() {
+        // Three collinear close nodes: edges (0,1) and (1,2) interfere.
+        let points = vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.1, 0.0),
+            Point::new(0.2, 0.0),
+        ];
+        let sg = unit_disk_graph(&points, 0.15);
+        let m = RandomizedMac::new(&sg, InterferenceModel::new(0.5), ActivationRule::Local);
+        assert_eq!(m.edge_list().len(), 2);
+        assert_eq!(m.conflict_free(&[0, 1]), vec![false, false]);
+        assert_eq!(m.conflict_free(&[0]), vec![true]);
+        assert_eq!(m.conflict_free(&[]), Vec::<bool>::new());
+    }
+
+    #[test]
+    fn sampling_is_seed_deterministic() {
+        let m = mac(13, ActivationRule::Local);
+        let a = m.sample_active(&mut ChaCha8Rng::seed_from_u64(1));
+        let b = m.sample_active(&mut ChaCha8Rng::seed_from_u64(1));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_topology() {
+        let sg = unit_disk_graph(&[], 1.0);
+        let m = RandomizedMac::new(&sg, InterferenceModel::new(0.5), ActivationRule::Local);
+        assert_eq!(m.interference_number(), 0);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        assert!(m.sample_active(&mut rng).is_empty());
+    }
+}

@@ -1,0 +1,279 @@
+//! The pairwise guard-zone interference model (paper §2.4).
+//!
+//! Simultaneous transmissions `Xᵢ → Yᵢ`: the transmission from `Xᵢ` is
+//! received by `Yᵢ` iff `|Xⱼ Yᵢ| ≥ (1+Δ) |Xⱼ Yⱼ|` for every other
+//! transmitter `Xⱼ`. Message exchanges are *bidirectional* (data +
+//! acknowledgment), so the paper defines the interference region of a link
+//! as the union of guard disks around both endpoints:
+//!
+//! `IR(X, Y) = C(X, (1+Δ)|XY|) ∪ C(Y, (1+Δ)|XY|)`
+//!
+//! and an exchange `Xᵢ ↔ Yᵢ` succeeds iff neither endpoint lies in the
+//! interference region of any other active exchange.
+
+use adhoc_geom::Point;
+use serde::{Deserialize, Serialize};
+
+/// The guard-zone model, parametrized by `Δ > 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InterferenceModel {
+    /// Guard-zone parameter `Δ`.
+    pub delta: f64,
+}
+
+impl InterferenceModel {
+    /// Model with guard zone `Δ`.
+    ///
+    /// # Panics
+    /// Panics unless `Δ > 0` (the paper requires a strictly positive
+    /// guard zone).
+    pub fn new(delta: f64) -> Self {
+        assert!(
+            delta.is_finite() && delta > 0.0,
+            "guard zone Δ must be positive, got {delta}"
+        );
+        InterferenceModel { delta }
+    }
+
+    /// Radius of the guard disks of a link of length `len`.
+    #[inline]
+    pub fn guard_radius(&self, len: f64) -> f64 {
+        (1.0 + self.delta) * len
+    }
+
+    /// Is point `p` inside the interference region `IR(x, y)`?
+    #[inline]
+    pub fn in_interference_region(&self, p: Point, x: Point, y: Point) -> bool {
+        let r = self.guard_radius(x.dist(y));
+        p.in_open_disk(x, r) || p.in_open_disk(y, r)
+    }
+}
+
+/// A bidirectional link exchange between two nodes (indices into a shared
+/// position table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Transmission {
+    pub a: u32,
+    pub b: u32,
+}
+
+impl Transmission {
+    pub fn new(a: u32, b: u32) -> Self {
+        Transmission { a, b }
+    }
+}
+
+/// Does link `e = (a₁, b₁)` interfere with link `f = (a₂, b₂)`?
+///
+/// True iff an endpoint of `f` falls inside `IR(e)`. Note this relation is
+/// **not** symmetric: a short link's small guard zone may miss a long
+/// link's endpoints while the converse holds. The interference *sets* of
+/// `sets.rs` take the symmetric closure, following the paper.
+pub fn edge_interferes(
+    model: InterferenceModel,
+    positions: &[Point],
+    e: Transmission,
+    f: Transmission,
+) -> bool {
+    let (xa, xb) = (positions[e.a as usize], positions[e.b as usize]);
+    let (fa, fb) = (positions[f.a as usize], positions[f.b as usize]);
+    model.in_interference_region(fa, xa, xb) || model.in_interference_region(fb, xa, xb)
+}
+
+/// Given a set of simultaneously active exchanges, return a mask of which
+/// succeed under the pairwise model: exchange `i` succeeds iff no endpoint
+/// of exchange `i` lies in the interference region of any other exchange.
+///
+/// Exchanges sharing an endpoint always kill each other (a node cannot
+/// take part in two exchanges at once): the shared endpoint is trivially
+/// inside the other link's interference region, but we also check
+/// explicitly so zero-length degenerate links behave sensibly.
+pub fn successful_transmissions(
+    model: InterferenceModel,
+    positions: &[Point],
+    active: &[Transmission],
+) -> Vec<bool> {
+    let k = active.len();
+    let mut ok = vec![true; k];
+    for i in 0..k {
+        for j in 0..k {
+            if i == j {
+                continue;
+            }
+            let (e, f) = (active[j], active[i]);
+            if e.a == f.a || e.a == f.b || e.b == f.a || e.b == f.b {
+                ok[i] = false;
+                continue;
+            }
+            if edge_interferes(model, positions, e, f) {
+                ok[i] = false;
+            }
+        }
+    }
+    ok
+}
+
+/// §3.4 fixed-transmission-strength independence: all nodes transmit with
+/// unit range; two sender–receiver pairs are *independent* iff every node
+/// of one has distance more than `1 + Δ` from every node of the other.
+/// Returns true iff all pairs in the set are mutually independent and
+/// every pair spans distance ≤ 1.
+pub fn pairs_independent(positions: &[Point], pairs: &[Transmission], delta: f64) -> bool {
+    assert!(delta > 0.0, "Δ must be positive");
+    for p in pairs {
+        if positions[p.a as usize].dist(positions[p.b as usize]) > 1.0 + 1e-12 {
+            return false;
+        }
+    }
+    for i in 0..pairs.len() {
+        for j in (i + 1)..pairs.len() {
+            let (p, q) = (pairs[i], pairs[j]);
+            for &x in &[p.a, p.b] {
+                for &y in &[q.a, q.b] {
+                    if positions[x as usize].dist(positions[y as usize]) <= 1.0 + delta {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> InterferenceModel {
+        InterferenceModel::new(0.5)
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_delta_rejected() {
+        InterferenceModel::new(0.0);
+    }
+
+    #[test]
+    fn guard_radius_scales_with_length() {
+        let m = model();
+        assert_eq!(m.guard_radius(2.0), 3.0);
+        assert_eq!(m.guard_radius(0.0), 0.0);
+    }
+
+    #[test]
+    fn interference_region_membership() {
+        let m = model();
+        let x = Point::new(0.0, 0.0);
+        let y = Point::new(1.0, 0.0);
+        // guard radius = 1.5 around each endpoint
+        assert!(m.in_interference_region(Point::new(-1.0, 0.0), x, y));
+        assert!(m.in_interference_region(Point::new(2.4, 0.0), x, y));
+        assert!(!m.in_interference_region(Point::new(2.6, 0.0), x, y));
+        assert!(!m.in_interference_region(Point::new(0.5, 2.0), x, y));
+    }
+
+    #[test]
+    fn far_links_do_not_interfere() {
+        let positions = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(11.0, 0.0),
+        ];
+        let e = Transmission::new(0, 1);
+        let f = Transmission::new(2, 3);
+        assert!(!edge_interferes(model(), &positions, e, f));
+        assert!(!edge_interferes(model(), &positions, f, e));
+        let ok = successful_transmissions(model(), &positions, &[e, f]);
+        assert_eq!(ok, vec![true, true]);
+    }
+
+    #[test]
+    fn near_links_kill_each_other() {
+        let positions = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.2, 0.0),
+            Point::new(2.2, 0.0),
+        ];
+        let e = Transmission::new(0, 1);
+        let f = Transmission::new(2, 3);
+        let ok = successful_transmissions(model(), &positions, &[e, f]);
+        assert_eq!(ok, vec![false, false]);
+    }
+
+    #[test]
+    fn asymmetric_interference() {
+        // Long link's big guard zone swallows a distant short link, but
+        // the short link's zone misses the long link's endpoints.
+        let positions = vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0), // long link 0-1, guard radius 15
+            Point::new(14.0, 0.0),
+            Point::new(14.1, 0.0), // short link 2-3, guard radius 0.15
+        ];
+        let long = Transmission::new(0, 1);
+        let short = Transmission::new(2, 3);
+        assert!(edge_interferes(model(), &positions, long, short));
+        assert!(!edge_interferes(model(), &positions, short, long));
+    }
+
+    #[test]
+    fn shared_endpoint_always_fails() {
+        let positions = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 1.0),
+        ];
+        let ok = successful_transmissions(
+            model(),
+            &positions,
+            &[Transmission::new(0, 1), Transmission::new(0, 2)],
+        );
+        assert_eq!(ok, vec![false, false]);
+    }
+
+    #[test]
+    fn single_transmission_always_succeeds() {
+        let positions = vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)];
+        let ok = successful_transmissions(model(), &positions, &[Transmission::new(0, 1)]);
+        assert_eq!(ok, vec![true]);
+    }
+
+    #[test]
+    fn empty_set() {
+        let ok = successful_transmissions(model(), &[], &[]);
+        assert!(ok.is_empty());
+    }
+
+    #[test]
+    fn fixed_range_independence() {
+        let positions = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(5.0, 0.0),
+            Point::new(5.5, 0.0),
+        ];
+        let pairs = [Transmission::new(0, 1), Transmission::new(2, 3)];
+        assert!(pairs_independent(&positions, &pairs, 0.5));
+        // Pull the second pair closer: distance 1-2 becomes 1.2 < 1+Δ=1.5.
+        let positions2 = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(2.2, 0.0),
+            Point::new(2.7, 0.0),
+        ];
+        assert!(!pairs_independent(&positions2, &pairs, 0.5));
+    }
+
+    #[test]
+    fn fixed_range_rejects_long_pair() {
+        let positions = vec![Point::new(0.0, 0.0), Point::new(1.5, 0.0)];
+        assert!(!pairs_independent(
+            &positions,
+            &[Transmission::new(0, 1)],
+            0.5
+        ));
+    }
+}

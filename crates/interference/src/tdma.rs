@@ -1,0 +1,165 @@
+//! TDMA scheduling by interference-graph coloring.
+//!
+//! Theorem 2.8's emulation argument schedules the edges of `𝒩` so that no
+//! two simultaneously active edges interfere; the classic constructive
+//! way is to color the *interference graph* (vertices = edges of `𝒩`,
+//! adjacency = the symmetric "interferes" relation) and assign one TDMA
+//! slot per color. Greedy coloring uses at most `I + 1` colors, so the
+//! whole topology can be activated conflict-free every `I + 1` steps —
+//! the `O(tI)` slowdown of Theorem 2.8 made executable.
+
+use crate::model::InterferenceModel;
+use crate::sets::interference_sets;
+use adhoc_proximity::SpatialGraph;
+
+/// A TDMA schedule over the edges of a topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TdmaSchedule {
+    /// `slot[e]` = the time slot (color) assigned to edge id `e`.
+    pub slot: Vec<u32>,
+    /// Number of slots in the frame (= colors used).
+    pub frame_length: u32,
+}
+
+impl TdmaSchedule {
+    /// The edge ids active in a given slot.
+    pub fn edges_in_slot(&self, s: u32) -> Vec<u32> {
+        (0..self.slot.len() as u32)
+            .filter(|&e| self.slot[e as usize] == s)
+            .collect()
+    }
+}
+
+/// Greedy-color the interference graph of `sg` (largest-degree-first
+/// order) and return the slot assignment. Frame length ≤ I + 1.
+pub fn tdma_schedule(sg: &SpatialGraph, model: InterferenceModel) -> TdmaSchedule {
+    let (el, sets) = interference_sets(sg, model);
+    let m = el.len();
+    if m == 0 {
+        return TdmaSchedule {
+            slot: Vec::new(),
+            frame_length: 0,
+        };
+    }
+    // Largest interference degree first (Welsh–Powell), for fewer colors.
+    let mut order: Vec<u32> = (0..m as u32).collect();
+    order.sort_unstable_by_key(|&e| std::cmp::Reverse(sets[e as usize].len()));
+
+    let mut slot = vec![u32::MAX; m];
+    let mut frame_length = 0u32;
+    let mut used: Vec<bool> = Vec::new();
+    for &e in &order {
+        used.clear();
+        used.resize(frame_length as usize + 1, false);
+        for &f in &sets[e as usize] {
+            let s = slot[f as usize];
+            if s != u32::MAX
+                && (s as usize) < used.len() {
+                    used[s as usize] = true;
+                }
+        }
+        let s = used.iter().position(|&u| !u).unwrap() as u32;
+        slot[e as usize] = s;
+        frame_length = frame_length.max(s + 1);
+    }
+    TdmaSchedule { slot, frame_length }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sets::interference_number;
+    use adhoc_geom::Point;
+    use adhoc_proximity::unit_disk_graph;
+    use rand::prelude::*;
+    use rand_chacha::ChaCha8Rng;
+
+    fn uniform(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new(rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect()
+    }
+
+    #[test]
+    fn schedule_is_conflict_free() {
+        let points = uniform(100, 3);
+        let sg = unit_disk_graph(&points, 0.2);
+        let model = InterferenceModel::new(0.5);
+        let sched = tdma_schedule(&sg, model);
+        let (_, sets) = interference_sets(&sg, model);
+        for e in 0..sets.len() as u32 {
+            for &f in &sets[e as usize] {
+                assert_ne!(
+                    sched.slot[e as usize], sched.slot[f as usize],
+                    "interfering edges {e},{f} share a slot"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn frame_length_at_most_i_plus_one() {
+        let points = uniform(120, 7);
+        let sg = unit_disk_graph(&points, 0.2);
+        let model = InterferenceModel::new(0.5);
+        let sched = tdma_schedule(&sg, model);
+        let i = interference_number(&sg, model);
+        assert!(
+            sched.frame_length as usize <= i + 1,
+            "frame {} > I+1 = {}",
+            sched.frame_length,
+            i + 1
+        );
+        assert!(sched.frame_length >= 1);
+    }
+
+    #[test]
+    fn every_edge_gets_exactly_one_slot() {
+        let points = uniform(60, 9);
+        let sg = unit_disk_graph(&points, 0.25);
+        let sched = tdma_schedule(&sg, InterferenceModel::new(1.0));
+        assert_eq!(sched.slot.len(), sg.graph.num_edges());
+        let total: usize = (0..sched.frame_length)
+            .map(|s| sched.edges_in_slot(s).len())
+            .sum();
+        assert_eq!(total, sg.graph.num_edges());
+        assert!(sched.slot.iter().all(|&s| s < sched.frame_length));
+    }
+
+    #[test]
+    fn empty_topology() {
+        let sched = tdma_schedule(&unit_disk_graph(&[], 1.0), InterferenceModel::new(0.5));
+        assert_eq!(sched.frame_length, 0);
+        assert!(sched.slot.is_empty());
+    }
+
+    #[test]
+    fn isolated_edges_one_slot() {
+        let points = vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.1, 0.0),
+            Point::new(50.0, 0.0),
+            Point::new(50.1, 0.0),
+        ];
+        let sg = unit_disk_graph(&points, 0.2);
+        let sched = tdma_schedule(&sg, InterferenceModel::new(0.5));
+        assert_eq!(sched.frame_length, 1);
+    }
+
+    #[test]
+    fn theta_topology_needs_far_fewer_slots_than_gstar() {
+        use adhoc_core::ThetaAlg;
+        let points = uniform(200, 11);
+        let range = adhoc_geom::default_max_range(200);
+        let model = InterferenceModel::new(0.5);
+        let gstar = unit_disk_graph(&points, range);
+        let topo = ThetaAlg::new(std::f64::consts::FRAC_PI_3, range).build(&points);
+        let f_gstar = tdma_schedule(&gstar, model).frame_length;
+        let f_theta = tdma_schedule(&topo.spatial, model).frame_length;
+        assert!(
+            f_theta * 2 < f_gstar,
+            "expected frame(𝒩)={f_theta} ≪ frame(G*)={f_gstar}"
+        );
+    }
+}

@@ -1,0 +1,194 @@
+//! β-skeletons (lune-based).
+//!
+//! The proof discussion in §2.2 contrasts the topology `𝒩` with
+//! "proximity graphs such as the Yao graph, Gabriel graph and some of its
+//! variants (such as β-skeletons with β < 1)", whose minimum-cost paths
+//! never move away from the target. The lune-based β-skeleton
+//! interpolates the classic structures:
+//!
+//! * `β = 1` — the Gabriel graph;
+//! * `β = 2` — the relative neighborhood graph;
+//! * `β < 1` — denser graphs whose empty region is the intersection of
+//!   two disks of radius `|uv|/(2β)` through `u` and `v`.
+//!
+//! For `β ≥ 1` the empty region is the union/intersection convention of
+//! Kirkpatrick–Radke: we implement the standard *lune-based* variant
+//! where the region is the intersection of the two disks of radius
+//! `β|uv|/2` centered at `(1−β/2)u + (β/2)v` and symmetrically.
+
+use crate::spatial::SpatialGraph;
+use adhoc_geom::{GridIndex, Point};
+use adhoc_graph::GraphBuilder;
+
+/// Is point `w` strictly inside the β-lune of `(u, v)`?
+///
+/// # Panics
+/// Panics unless `β > 0`.
+pub fn in_beta_lune(u: Point, v: Point, w: Point, beta: f64) -> bool {
+    assert!(beta > 0.0, "β must be positive");
+    let d = u.dist(v);
+    if d == 0.0 {
+        return false;
+    }
+    if beta >= 1.0 {
+        // Lune = intersection of disks of radius βd/2 centered at
+        // (1−β/2)u + (β/2)v and (1−β/2)v + (β/2)u.
+        let r = beta * d / 2.0;
+        let c1 = u.lerp(v, beta / 2.0);
+        let c2 = v.lerp(u, beta / 2.0);
+        w.in_open_disk(c1, r) && w.in_open_disk(c2, r)
+    } else {
+        // β < 1: intersection of the two disks of radius d/(2β) that
+        // pass through both u and v.
+        let r = d / (2.0 * beta);
+        // Disk centers sit on the perpendicular bisector at distance
+        // sqrt(r² − (d/2)²) from the midpoint.
+        let mid = u.midpoint(v);
+        let h = (r * r - (d / 2.0) * (d / 2.0)).max(0.0).sqrt();
+        let dir = u.to(v).normalized().expect("d > 0");
+        let perp = adhoc_geom::Vec2::new(-dir.y, dir.x);
+        let c1 = mid + perp * h;
+        let c2 = mid - perp * h;
+        // The endpoints u, v sit exactly on both circles; a relative
+        // tolerance keeps boundary points (up to rounding) outside.
+        let r_eff = r * (1.0 - 1e-12);
+        w.in_open_disk(c1, r_eff) && w.in_open_disk(c2, r_eff)
+    }
+}
+
+/// The lune-based β-skeleton restricted to edges of length ≤ `range`.
+pub fn beta_skeleton(points: &[Point], beta: f64, range: f64) -> SpatialGraph {
+    assert!(beta > 0.0, "β must be positive");
+    assert!(
+        range.is_finite() && range > 0.0,
+        "range must be positive, got {range}"
+    );
+    let n = points.len();
+    let mut b = GraphBuilder::new(n);
+    if n > 0 {
+        let grid = GridIndex::build(points, range);
+        // Candidate blockers live within max(r_lune) of the midpoint; the
+        // lune is always contained in the disk around the midpoint of
+        // radius max(β,1/β)·d.
+        for u in 0..n as u32 {
+            let pu = points[u as usize];
+            grid.for_each_within(pu, range, |v| {
+                if v <= u {
+                    return;
+                }
+                let pv = points[v as usize];
+                let d = pu.dist(pv);
+                let reach = d * beta.max(1.0 / beta);
+                let mid = pu.midpoint(pv);
+                let mut blocked = false;
+                grid.for_each_within(mid, reach, |w| {
+                    if w != u && w != v && in_beta_lune(pu, pv, points[w as usize], beta) {
+                        blocked = true;
+                    }
+                });
+                if !blocked {
+                    b.add_edge(u, v, d);
+                }
+            });
+        }
+    }
+    SpatialGraph::new(points.to_vec(), b.build(), range)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand_chacha::ChaCha8Rng;
+
+    fn uniform(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new(rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect()
+    }
+
+    #[test]
+    fn beta_one_is_gabriel() {
+        let points = uniform(70, 7);
+        let bs = beta_skeleton(&points, 1.0, 10.0);
+        let gg = crate::gabriel::gabriel_graph(&points, 10.0);
+        assert_eq!(bs.graph, gg.graph);
+    }
+
+    #[test]
+    fn beta_two_is_rng() {
+        let points = uniform(70, 9);
+        let bs = beta_skeleton(&points, 2.0, 10.0);
+        let rng_g = crate::rng_graph::relative_neighborhood_graph(&points, 10.0);
+        assert_eq!(bs.graph, rng_g.graph);
+    }
+
+    #[test]
+    fn skeletons_nest_with_beta() {
+        // Larger β ⇒ bigger empty region ⇒ fewer edges (for β ≥ 1).
+        let points = uniform(80, 11);
+        let b1 = beta_skeleton(&points, 1.0, 10.0);
+        let b15 = beta_skeleton(&points, 1.5, 10.0);
+        let b2 = beta_skeleton(&points, 2.0, 10.0);
+        for (u, v, _) in b2.graph.edges() {
+            assert!(b15.graph.has_edge(u, v));
+        }
+        for (u, v, _) in b15.graph.edges() {
+            assert!(b1.graph.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn small_beta_is_denser() {
+        let points = uniform(60, 13);
+        let dense = beta_skeleton(&points, 0.8, 10.0);
+        let gabriel = beta_skeleton(&points, 1.0, 10.0);
+        assert!(dense.graph.num_edges() >= gabriel.graph.num_edges());
+        for (u, v, _) in gabriel.graph.edges() {
+            assert!(dense.graph.has_edge(u, v), "β<1 must contain Gabriel");
+        }
+    }
+
+    #[test]
+    fn lune_membership_geometry() {
+        let u = Point::new(0.0, 0.0);
+        let v = Point::new(2.0, 0.0);
+        // midpoint is inside every lune
+        for beta in [0.5, 1.0, 2.0] {
+            assert!(in_beta_lune(u, v, Point::new(1.0, 0.0), beta));
+        }
+        // a point far away never is
+        for beta in [0.5, 1.0, 2.0] {
+            assert!(!in_beta_lune(u, v, Point::new(10.0, 10.0), beta));
+        }
+        // endpoint are never strictly inside
+        for beta in [0.5, 1.0, 2.0] {
+            assert!(!in_beta_lune(u, v, u, beta));
+            assert!(!in_beta_lune(u, v, v, beta));
+        }
+        // β = 1: the lune is the diametral disk
+        assert!(in_beta_lune(u, v, Point::new(1.0, 0.9), 1.0));
+        assert!(!in_beta_lune(u, v, Point::new(1.0, 1.1), 1.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_beta_rejected() {
+        in_beta_lune(Point::ORIGIN, Point::new(1.0, 0.0), Point::ORIGIN, 0.0);
+    }
+
+    #[test]
+    fn respects_range() {
+        let points = uniform(50, 15);
+        let bs = beta_skeleton(&points, 1.0, 0.2);
+        for (_, _, w) in bs.graph.edges() {
+            assert!(w <= 0.2 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(beta_skeleton(&[], 1.0, 1.0).is_empty());
+    }
+}

@@ -1,0 +1,332 @@
+//! Delaunay triangulation (Bowyer–Watson) and the restricted Delaunay
+//! graph.
+//!
+//! The paper's related-work section (§1.2) discusses both: the Delaunay
+//! triangulation is a spanner but "may include edges much longer than the
+//! transmission range of a node", while *restricted Delaunay graphs* —
+//! Delaunay edges no longer than the transmission radius — are also
+//! spanners but have worst-case degree `Ω(n)`. Both serve as comparison
+//! baselines in the stretch experiments.
+//!
+//! The implementation is an incremental Bowyer–Watson with a super
+//! triangle, `O(n²)` worst case (no point-location structure) — entirely
+//! adequate for the experiment sizes, and verified against an `O(n⁴)`
+//! empty-circumcircle oracle in the tests.
+
+use crate::spatial::SpatialGraph;
+use adhoc_geom::point::orient2d;
+use adhoc_geom::Point;
+use adhoc_graph::GraphBuilder;
+
+/// A triangle as indices into the (extended) point array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Tri(u32, u32, u32);
+
+impl Tri {
+    fn edges(&self) -> [(u32, u32); 3] {
+        [(self.0, self.1), (self.1, self.2), (self.2, self.0)]
+    }
+
+    fn has_vertex(&self, v: u32) -> bool {
+        self.0 == v || self.1 == v || self.2 == v
+    }
+}
+
+/// Is `p` strictly inside the circumcircle of the (counterclockwise)
+/// triangle `(a, b, c)`?
+fn in_circumcircle(a: Point, b: Point, c: Point, p: Point) -> bool {
+    // Standard 3×3 determinant test on lifted coordinates.
+    let (ax, ay) = (a.x - p.x, a.y - p.y);
+    let (bx, by) = (b.x - p.x, b.y - p.y);
+    let (cx, cy) = (c.x - p.x, c.y - p.y);
+    let det = (ax * ax + ay * ay) * (bx * cy - cx * by)
+        - (bx * bx + by * by) * (ax * cy - cx * ay)
+        + (cx * cx + cy * cy) * (ax * by - bx * ay);
+    det > 0.0
+}
+
+/// Compute the Delaunay edges of `points` (as index pairs `u < v`).
+///
+/// Degenerate inputs (all collinear, duplicates) yield the edges of any
+/// valid triangulation of the distinct points; exact ties on cocircular
+/// quadruples are broken arbitrarily by insertion order.
+pub fn delaunay_edges(points: &[Point]) -> Vec<(u32, u32)> {
+    let n = points.len();
+    if n < 2 {
+        return Vec::new();
+    }
+    if n == 2 {
+        return vec![(0, 1)];
+    }
+
+    // Super-triangle comfortably containing everything.
+    let mut min_x = f64::INFINITY;
+    let mut min_y = f64::INFINITY;
+    let mut max_x = f64::NEG_INFINITY;
+    let mut max_y = f64::NEG_INFINITY;
+    for p in points {
+        min_x = min_x.min(p.x);
+        min_y = min_y.min(p.y);
+        max_x = max_x.max(p.x);
+        max_y = max_y.max(p.y);
+    }
+    let span = (max_x - min_x).max(max_y - min_y).max(1.0);
+    let cx = 0.5 * (min_x + max_x);
+    let cy = 0.5 * (min_y + max_y);
+    let big = 20.0 * span;
+    let mut pts: Vec<Point> = points.to_vec();
+    let s0 = n as u32;
+    let s1 = n as u32 + 1;
+    let s2 = n as u32 + 2;
+    pts.push(Point::new(cx - big, cy - big));
+    pts.push(Point::new(cx + big, cy - big));
+    pts.push(Point::new(cx, cy + big));
+
+    let ccw = |t: &Tri| -> Tri {
+        if orient2d(pts[t.0 as usize], pts[t.1 as usize], pts[t.2 as usize]) < 0.0 {
+            Tri(t.0, t.2, t.1)
+        } else {
+            *t
+        }
+    };
+
+    let mut tris: Vec<Tri> = vec![ccw(&Tri(s0, s1, s2))];
+
+    for i in 0..n as u32 {
+        let p = pts[i as usize];
+        // Bad triangles: circumcircle contains p.
+        let mut bad: Vec<usize> = Vec::new();
+        for (k, t) in tris.iter().enumerate() {
+            if in_circumcircle(pts[t.0 as usize], pts[t.1 as usize], pts[t.2 as usize], p) {
+                bad.push(k);
+            }
+        }
+        // Boundary of the cavity: edges appearing in exactly one bad
+        // triangle.
+        let mut boundary: Vec<(u32, u32)> = Vec::new();
+        for &k in &bad {
+            for (a, b) in tris[k].edges() {
+                // An edge is shared iff the reversed edge occurs in some
+                // other bad triangle.
+                let shared = bad.iter().any(|&k2| {
+                    k2 != k && tris[k2].edges().iter().any(|&(c, d)| c == b && d == a)
+                });
+                if !shared {
+                    boundary.push((a, b));
+                }
+            }
+        }
+        // Remove bad triangles (descending index order).
+        for &k in bad.iter().rev() {
+            tris.swap_remove(k);
+        }
+        // Re-triangulate the cavity.
+        for (a, b) in boundary {
+            if a != i && b != i {
+                tris.push(ccw(&Tri(a, b, i)));
+            }
+        }
+    }
+
+    // Collect edges not touching the super-triangle.
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for t in &tris {
+        if t.has_vertex(s0) || t.has_vertex(s1) || t.has_vertex(s2) {
+            continue;
+        }
+        for (a, b) in t.edges() {
+            edges.push(if a < b { (a, b) } else { (b, a) });
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    edges
+}
+
+/// The full Delaunay triangulation as a [`SpatialGraph`] (edge weights =
+/// Euclidean lengths). Note: may contain edges longer than any radio
+/// range — see [`restricted_delaunay_graph`].
+pub fn delaunay_graph(points: &[Point]) -> SpatialGraph {
+    let mut b = GraphBuilder::new(points.len());
+    for (u, v) in delaunay_edges(points) {
+        b.add_edge(u, v, points[u as usize].dist(points[v as usize]));
+    }
+    SpatialGraph::new(points.to_vec(), b.build(), f64::INFINITY)
+}
+
+/// The restricted Delaunay graph: Delaunay edges of length at most
+/// `range` (the structure of Gao et al. cited in §1.2 — a spanner with
+/// unbounded degree).
+pub fn restricted_delaunay_graph(points: &[Point], range: f64) -> SpatialGraph {
+    assert!(
+        range.is_finite() && range > 0.0,
+        "range must be positive, got {range}"
+    );
+    let mut b = GraphBuilder::new(points.len());
+    for (u, v) in delaunay_edges(points) {
+        let d = points[u as usize].dist(points[v as usize]);
+        if d <= range {
+            b.add_edge(u, v, d);
+        }
+    }
+    SpatialGraph::new(points.to_vec(), b.build(), range)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand_chacha::ChaCha8Rng;
+
+    fn uniform(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new(rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect()
+    }
+
+    /// O(n⁴) oracle: (u,v) is Delaunay iff some circle through u, v is
+    /// empty. For points in general position it suffices to check circles
+    /// through (u, v, w) for all w plus the diametral circle.
+    fn is_delaunay_edge_oracle(points: &[Point], u: usize, v: usize) -> bool {
+        let n = points.len();
+        // diametral circle empty?
+        let mid = points[u].midpoint(points[v]);
+        let r = 0.5 * points[u].dist(points[v]);
+        if (0..n).all(|w| w == u || w == v || !points[w].in_open_disk(mid, r * (1.0 - 1e-12))) {
+            return true;
+        }
+        // circle through u, v, w empty for some w?
+        'witness: for w in 0..n {
+            if w == u || w == v {
+                continue;
+            }
+            let (a, b, c) = (points[u], points[v], points[w]);
+            if orient2d(a, b, c).abs() < 1e-12 {
+                continue;
+            }
+            for x in 0..n {
+                if x == u || x == v || x == w {
+                    continue;
+                }
+                // x strictly inside circumcircle of (a,b,c)?
+                let inside = if orient2d(a, b, c) > 0.0 {
+                    in_circumcircle(a, b, c, points[x])
+                } else {
+                    in_circumcircle(a, c, b, points[x])
+                };
+                if inside {
+                    continue 'witness;
+                }
+            }
+            return true;
+        }
+        false
+    }
+
+    #[test]
+    fn matches_oracle_on_random_points() {
+        let points = uniform(30, 91);
+        let edges = delaunay_edges(&points);
+        let edge_set: std::collections::HashSet<(u32, u32)> = edges.iter().copied().collect();
+        for u in 0..points.len() {
+            for v in (u + 1)..points.len() {
+                let expected = is_delaunay_edge_oracle(&points, u, v);
+                let got = edge_set.contains(&(u as u32, v as u32));
+                assert_eq!(got, expected, "edge ({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_count_euler() {
+        // For points in general position: |E| ≤ 3n − 6 (planar) and the
+        // triangulation is connected and spanning.
+        let points = uniform(100, 93);
+        let g = delaunay_graph(&points);
+        assert!(g.graph.num_edges() <= 3 * points.len() - 6);
+        assert!(adhoc_graph::is_connected(&g.graph));
+    }
+
+    #[test]
+    fn square_with_center() {
+        let points = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(0.0, 1.0),
+            Point::new(0.5, 0.5),
+        ];
+        let edges = delaunay_edges(&points);
+        // center connects to all four corners; plus the four sides
+        assert_eq!(edges.len(), 8);
+        for corner in 0..4u32 {
+            assert!(edges.contains(&(corner, 4)), "missing center edge {corner}");
+        }
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        assert!(delaunay_edges(&[]).is_empty());
+        assert!(delaunay_edges(&[Point::ORIGIN]).is_empty());
+        assert_eq!(
+            delaunay_edges(&[Point::ORIGIN, Point::new(1.0, 0.0)]),
+            vec![(0, 1)]
+        );
+        let tri = delaunay_edges(&[
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.5, 1.0),
+        ]);
+        assert_eq!(tri.len(), 3);
+    }
+
+    #[test]
+    fn gabriel_subset_of_delaunay() {
+        // Classic inclusion: Gabriel ⊆ Delaunay.
+        let points = uniform(60, 97);
+        let gg = crate::gabriel::gabriel_graph(&points, 10.0);
+        let del = delaunay_graph(&points);
+        for (u, v, _) in gg.graph.edges() {
+            assert!(del.graph.has_edge(u, v), "Gabriel edge ({u},{v}) not Delaunay");
+        }
+    }
+
+    #[test]
+    fn delaunay_is_a_spanner_empirically() {
+        use adhoc_graph::pairwise_stretch;
+        let points = uniform(80, 99);
+        let del = delaunay_graph(&points);
+        let full = crate::udg::unit_disk_graph(&points, 10.0);
+        let st = pairwise_stretch(&del.graph, &full.graph);
+        assert!(st.connectivity_preserved());
+        // Known bound ~2.42; allow margin.
+        assert!(st.max < 2.6, "Delaunay stretch {}", st.max);
+    }
+
+    #[test]
+    fn restricted_delaunay_caps_edge_length() {
+        let points = uniform(80, 101);
+        let range = 0.3;
+        let rdg = restricted_delaunay_graph(&points, range);
+        for (_, _, w) in rdg.graph.edges() {
+            assert!(w <= range + 1e-12);
+        }
+        // and it is a subgraph of the full Delaunay graph
+        let del = delaunay_graph(&points);
+        for (u, v, _) in rdg.graph.edges() {
+            assert!(del.graph.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn delaunay_can_exceed_any_range() {
+        // Two far clusters: the triangulation must bridge them with an
+        // edge longer than a unit radio range — the paper's §1.2 caveat.
+        let mut points = uniform(10, 103);
+        points.extend(uniform(10, 104).iter().map(|p| Point::new(p.x + 50.0, p.y)));
+        let del = delaunay_graph(&points);
+        assert!(del.max_edge_len() > 1.0);
+        assert!(adhoc_graph::is_connected(&del.graph));
+    }
+}

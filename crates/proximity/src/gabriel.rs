@@ -1,0 +1,157 @@
+//! The Gabriel graph.
+//!
+//! Edge `(u, v)` is present iff the open disk with diameter `uv` contains
+//! no other node. For the `|uv|^κ` energy model with `κ ≥ 2`, the Gabriel
+//! graph contains a minimum-energy path between every pair of nodes
+//! (paper §1.2: "a Gabriel graph, by definition, has shortest paths with
+//! respect to the ℓ₂-norm and hence has optimal energy paths"). We use it
+//! as the energy-stretch = 1.0 reference in experiment E2. Its drawback —
+//! and the reason the paper needs ΘALG — is worst-case degree `Ω(n)`.
+
+use crate::spatial::SpatialGraph;
+use adhoc_geom::{GridIndex, Point};
+use adhoc_graph::GraphBuilder;
+
+/// Gabriel graph restricted to edges of length at most `range`
+/// (the "restricted Gabriel graph" appropriate for radios with maximum
+/// transmission range `D`).
+pub fn gabriel_graph(points: &[Point], range: f64) -> SpatialGraph {
+    assert!(
+        range.is_finite() && range > 0.0,
+        "range must be positive, got {range}"
+    );
+    let n = points.len();
+    let mut b = GraphBuilder::new(n);
+    if n > 0 {
+        let grid = GridIndex::build(points, range);
+        for u in 0..n as u32 {
+            let pu = points[u as usize];
+            grid.for_each_within(pu, range, |v| {
+                if v <= u {
+                    return;
+                }
+                let pv = points[v as usize];
+                let mid = pu.midpoint(pv);
+                let radius = 0.5 * pu.dist(pv);
+                // Gabriel test: no third node strictly inside C(mid, |uv|/2).
+                let mut blocked = false;
+                grid.for_each_within(mid, radius, |w| {
+                    if w != u && w != v && points[w as usize].in_open_disk(mid, radius) {
+                        blocked = true;
+                    }
+                });
+                if !blocked {
+                    b.add_edge(u, v, pu.dist(pv));
+                }
+            });
+        }
+    }
+    SpatialGraph::new(points.to_vec(), b.build(), range)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand_chacha::ChaCha8Rng;
+
+    fn uniform(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new(rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect()
+    }
+
+    fn naive_gabriel(points: &[Point], range: f64) -> Vec<(u32, u32)> {
+        let n = points.len();
+        let mut edges = Vec::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if points[u].dist(points[v]) > range {
+                    continue;
+                }
+                let mid = points[u].midpoint(points[v]);
+                let r = 0.5 * points[u].dist(points[v]);
+                let blocked = (0..n)
+                    .any(|w| w != u && w != v && points[w].in_open_disk(mid, r));
+                if !blocked {
+                    edges.push((u as u32, v as u32));
+                }
+            }
+        }
+        edges
+    }
+
+    #[test]
+    fn matches_naive_oracle() {
+        let points = uniform(100, 41);
+        for range in [0.3, 10.0] {
+            let gg = gabriel_graph(&points, range);
+            let mut got: Vec<(u32, u32)> = gg.graph.edges().map(|(u, v, _)| (u, v)).collect();
+            got.sort_unstable();
+            let mut want = naive_gabriel(&points, range);
+            want.sort_unstable();
+            assert_eq!(got, want, "range {range}");
+        }
+    }
+
+    #[test]
+    fn blocking_point_removes_edge() {
+        // Midpoint of (0,0)-(2,0) blocked by (1, 0.1).
+        let points = vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(1.0, 0.1),
+        ];
+        let gg = gabriel_graph(&points, 10.0);
+        assert!(!gg.graph.has_edge(0, 1));
+        assert!(gg.graph.has_edge(0, 2));
+        assert!(gg.graph.has_edge(2, 1));
+    }
+
+    #[test]
+    fn point_on_circle_does_not_block() {
+        // (1,1) is ON the circle with diameter (0,0)-(2,0)? |mid-(1,1)| = 1
+        // = radius: boundary, open disk excludes it.
+        let points = vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(1.0, 1.0),
+        ];
+        let gg = gabriel_graph(&points, 10.0);
+        assert!(gg.graph.has_edge(0, 1));
+    }
+
+    #[test]
+    fn gabriel_has_optimal_energy_paths() {
+        // Energy-stretch of the Gabriel graph vs the complete graph is 1
+        // for κ = 2 (it contains an optimal-energy path for each pair).
+        use crate::udg::unit_disk_graph;
+        use adhoc_graph::pairwise_stretch;
+        let points = uniform(60, 55);
+        let range = 10.0;
+        let gg = gabriel_graph(&points, range);
+        let full = unit_disk_graph(&points, range);
+        let st = pairwise_stretch(&gg.energy_graph(2.0), &full.energy_graph(2.0));
+        assert!(st.connectivity_preserved());
+        assert!(
+            (st.max - 1.0).abs() < 1e-9,
+            "Gabriel energy-stretch should be 1.0, got {}",
+            st.max
+        );
+    }
+
+    #[test]
+    fn connected_at_full_range() {
+        let points = uniform(80, 61);
+        let gg = gabriel_graph(&points, 10.0);
+        assert!(adhoc_graph::is_connected(&gg.graph));
+    }
+
+    #[test]
+    fn empty_and_small() {
+        assert!(gabriel_graph(&[], 1.0).is_empty());
+        let two = gabriel_graph(&[Point::new(0.0, 0.0), Point::new(0.5, 0.0)], 1.0);
+        assert_eq!(two.graph.num_edges(), 1);
+    }
+}

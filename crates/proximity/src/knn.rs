@@ -1,0 +1,129 @@
+//! The k-nearest-neighbor graph.
+//!
+//! The paper's introduction singles this structure out as the cautionary
+//! baseline: "just connecting each node to its closest k neighbors may
+//! provide energy-efficient routes but does *not* guarantee connectivity
+//! or a constant degree per node." Experiment E1 demonstrates both
+//! failure modes empirically.
+
+use crate::spatial::SpatialGraph;
+use adhoc_geom::{GridIndex, Point};
+use adhoc_graph::GraphBuilder;
+
+/// Undirected kNN graph: `u — v` iff `v` is among the `k` nearest in-range
+/// neighbors of `u`, or vice versa. Ties broken by node id.
+pub fn knn_graph(points: &[Point], k: usize, range: f64) -> SpatialGraph {
+    assert!(
+        range.is_finite() && range > 0.0,
+        "range must be positive, got {range}"
+    );
+    let n = points.len();
+    let mut b = GraphBuilder::new(n);
+    if n > 0 && k > 0 {
+        let grid = GridIndex::build(points, range);
+        // Workhorse candidate buffer reused across nodes.
+        let mut cands: Vec<(f64, u32)> = Vec::new();
+        for u in 0..n as u32 {
+            cands.clear();
+            let pu = points[u as usize];
+            grid.for_each_within(pu, range, |v| {
+                if v != u {
+                    cands.push((pu.dist_sq(points[v as usize]), v));
+                }
+            });
+            cands.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+            for &(_, v) in cands.iter().take(k) {
+                b.add_edge(u, v, pu.dist(points[v as usize]));
+            }
+        }
+    }
+    SpatialGraph::new(points.to_vec(), b.build(), range)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adhoc_graph::is_connected;
+    use rand::prelude::*;
+    use rand_chacha::ChaCha8Rng;
+
+    fn uniform(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new(rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect()
+    }
+
+    fn naive_knn(points: &[Point], k: usize, range: f64) -> Vec<(u32, u32)> {
+        let n = points.len();
+        let mut set = std::collections::BTreeSet::new();
+        for u in 0..n {
+            let mut cands: Vec<(f64, u32)> = (0..n)
+                .filter(|&v| v != u && points[u].dist(points[v]) <= range)
+                .map(|v| (points[u].dist_sq(points[v]), v as u32))
+                .collect();
+            cands.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+            for &(_, v) in cands.iter().take(k) {
+                let (a, b) = (u as u32, v);
+                set.insert(if a < b { (a, b) } else { (b, a) });
+            }
+        }
+        set.into_iter().collect()
+    }
+
+    #[test]
+    fn matches_naive_oracle() {
+        let points = uniform(90, 71);
+        for k in [1, 3, 5] {
+            let g = knn_graph(&points, k, 0.5);
+            let mut got: Vec<(u32, u32)> = g.graph.edges().map(|(u, v, _)| (u, v)).collect();
+            got.sort_unstable();
+            let want = naive_knn(&points, k, 0.5);
+            assert_eq!(got, want, "k={k}");
+        }
+    }
+
+    #[test]
+    fn k_zero_is_empty() {
+        let points = uniform(20, 2);
+        let g = knn_graph(&points, 0, 1.0);
+        assert_eq!(g.graph.num_edges(), 0);
+    }
+
+    #[test]
+    fn knn_can_disconnect() {
+        // Two tight clusters far apart but within range: 1-NN links stay
+        // inside each cluster, so the graph is disconnected even though
+        // the UDG is connected. This is the paper's intro counterexample.
+        let mut points = Vec::new();
+        for i in 0..5 {
+            points.push(Point::new(0.0, i as f64 * 0.01));
+            points.push(Point::new(0.9, i as f64 * 0.01));
+        }
+        let g = knn_graph(&points, 1, 1.0);
+        assert!(!is_connected(&g.graph));
+        // ...while the UDG at the same range IS connected.
+        let udg = crate::udg::unit_disk_graph(&points, 1.0);
+        assert!(is_connected(&udg.graph));
+    }
+
+    #[test]
+    fn degree_can_exceed_k() {
+        // A hub with satellites spread 72° apart: adjacent satellites are
+        // 2·sin 36° ≈ 1.18 apart, farther than the hub at distance 1, so
+        // every satellite's 1-NN is the hub and the hub's undirected degree
+        // is n-1 = 5 despite k = 1.
+        let mut points = vec![Point::new(0.0, 0.0)];
+        for i in 0..5 {
+            let a = i as f64 / 5.0 * std::f64::consts::TAU;
+            points.push(Point::new(a.cos(), a.sin()));
+        }
+        let g = knn_graph(&points, 1, 2.5);
+        assert_eq!(g.graph.degree(0), 5);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(knn_graph(&[], 3, 1.0).is_empty());
+    }
+}

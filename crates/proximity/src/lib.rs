@@ -1,0 +1,96 @@
+//! # adhoc-proximity
+//!
+//! Baseline proximity structures for the SPAA'03 reproduction.
+//!
+//! The paper's related-work section (§1.2, §2) compares the ΘALG topology
+//! `𝒩` against classic geometric structures; this crate implements them so
+//! every stretch/degree/interference experiment can report the full
+//! comparison table:
+//!
+//! * [`unit_disk_graph`] — the transmission graph `G*` itself (all pairs
+//!   within maximum range `D`).
+//! * [`yao_graph`] — the phase-1 graph `𝒩₁` (= the Yao/θ-graph): each node
+//!   links to its nearest neighbor in every sector. A spanner, but with
+//!   worst-case degree `Ω(n)`.
+//! * [`gabriel_graph`] — optimal-energy paths by definition (for κ ≥ 2),
+//!   but degree `Ω(n)` in the worst case.
+//! * [`relative_neighborhood_graph`] — sparser than Gabriel; polynomial
+//!   energy-stretch.
+//! * [`knn_graph`] — "connect to k closest": the paper's intro example of
+//!   a topology that does **not** guarantee connectivity.
+//! * [`euclidean_mst`] — sparsest connected baseline; unbounded stretch.
+//!
+//! All constructions share the [`SpatialGraph`] carrier: points plus a
+//! distance-weighted [`adhoc_graph::Graph`], with [`SpatialGraph::energy_graph`]
+//! providing the `|uv|^κ` re-weighting used by energy-stretch analyses.
+
+pub mod beta_skeleton;
+pub mod delaunay;
+pub mod gabriel;
+pub mod knn;
+pub mod rng_graph;
+pub mod spatial;
+pub mod udg;
+pub mod yao;
+
+pub use beta_skeleton::beta_skeleton;
+pub use delaunay::{delaunay_graph, restricted_delaunay_graph};
+pub use gabriel::gabriel_graph;
+pub use knn::knn_graph;
+pub use rng_graph::relative_neighborhood_graph;
+pub use spatial::SpatialGraph;
+pub use udg::unit_disk_graph;
+pub use yao::yao_graph;
+
+use adhoc_graph::kruskal_mst;
+
+/// Euclidean minimum spanning forest of the unit-disk graph with the given
+/// range (a true EMST when the UDG is connected).
+pub fn euclidean_mst(points: &[adhoc_geom::Point], range: f64) -> SpatialGraph {
+    let udg = unit_disk_graph(points, range);
+    SpatialGraph::new(points.to_vec(), kruskal_mst(&udg.graph), range)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adhoc_geom::Point;
+    use rand::prelude::*;
+    use rand_chacha::ChaCha8Rng;
+
+    fn pts(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new(rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect()
+    }
+
+    /// Classic inclusion chain: EMST ⊆ RNG ⊆ Gabriel ⊆ UDG (with a range
+    /// large enough to make the UDG complete).
+    #[test]
+    fn inclusion_chain() {
+        let points = pts(60, 77);
+        let range = 10.0;
+        let mst = euclidean_mst(&points, range);
+        let rng_g = relative_neighborhood_graph(&points, range);
+        let gg = gabriel_graph(&points, range);
+        let udg = unit_disk_graph(&points, range);
+        for (u, v, _) in mst.graph.edges() {
+            assert!(rng_g.graph.has_edge(u, v), "MST edge ({u},{v}) not in RNG");
+        }
+        for (u, v, _) in rng_g.graph.edges() {
+            assert!(gg.graph.has_edge(u, v), "RNG edge ({u},{v}) not in Gabriel");
+        }
+        for (u, v, _) in gg.graph.edges() {
+            assert!(udg.graph.has_edge(u, v), "Gabriel edge ({u},{v}) not in UDG");
+        }
+    }
+
+    #[test]
+    fn mst_is_spanning_when_connected() {
+        let points = pts(40, 3);
+        let mst = euclidean_mst(&points, 10.0);
+        assert_eq!(mst.graph.num_edges(), points.len() - 1);
+        assert!(adhoc_graph::is_connected(&mst.graph));
+    }
+}

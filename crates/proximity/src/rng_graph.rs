@@ -1,0 +1,146 @@
+//! The relative neighborhood graph (RNG).
+//!
+//! Edge `(u, v)` is present iff there is no third node `w` with
+//! `max(|uw|, |vw|) < |uv|` (no node strictly inside the "lune" of `u` and
+//! `v`). Sparser than the Gabriel graph; the paper notes it has only
+//! *polynomial* energy-stretch, making it a useful contrast baseline.
+
+use crate::spatial::SpatialGraph;
+use adhoc_geom::{GridIndex, Point};
+use adhoc_graph::GraphBuilder;
+
+/// RNG restricted to edges of length at most `range`.
+pub fn relative_neighborhood_graph(points: &[Point], range: f64) -> SpatialGraph {
+    assert!(
+        range.is_finite() && range > 0.0,
+        "range must be positive, got {range}"
+    );
+    let n = points.len();
+    let mut b = GraphBuilder::new(n);
+    if n > 0 {
+        let grid = GridIndex::build(points, range);
+        for u in 0..n as u32 {
+            let pu = points[u as usize];
+            grid.for_each_within(pu, range, |v| {
+                if v <= u {
+                    return;
+                }
+                let pv = points[v as usize];
+                let d = pu.dist(pv);
+                // Lune test: any w (≠ u,v) with |uw| < d AND |vw| < d blocks.
+                let mut blocked = false;
+                grid.for_each_within(pu, d, |w| {
+                    if w != u && w != v {
+                        let pw = points[w as usize];
+                        if pw.dist(pu) < d && pw.dist(pv) < d {
+                            blocked = true;
+                        }
+                    }
+                });
+                if !blocked {
+                    b.add_edge(u, v, d);
+                }
+            });
+        }
+    }
+    SpatialGraph::new(points.to_vec(), b.build(), range)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand_chacha::ChaCha8Rng;
+
+    fn uniform(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new(rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect()
+    }
+
+    fn naive_rng(points: &[Point], range: f64) -> Vec<(u32, u32)> {
+        let n = points.len();
+        let mut edges = Vec::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                let d = points[u].dist(points[v]);
+                if d > range {
+                    continue;
+                }
+                let blocked = (0..n).any(|w| {
+                    w != u && w != v && points[w].dist(points[u]) < d && points[w].dist(points[v]) < d
+                });
+                if !blocked {
+                    edges.push((u as u32, v as u32));
+                }
+            }
+        }
+        edges
+    }
+
+    #[test]
+    fn matches_naive_oracle() {
+        let points = uniform(90, 43);
+        for range in [0.3, 10.0] {
+            let g = relative_neighborhood_graph(&points, range);
+            let mut got: Vec<(u32, u32)> = g.graph.edges().map(|(u, v, _)| (u, v)).collect();
+            got.sort_unstable();
+            let mut want = naive_rng(&points, range);
+            want.sort_unstable();
+            assert_eq!(got, want, "range {range}");
+        }
+    }
+
+    #[test]
+    fn lune_blocking() {
+        // w equidistant-ish between u and v blocks the long edge.
+        let points = vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(1.0, 0.5),
+        ];
+        let g = relative_neighborhood_graph(&points, 10.0);
+        assert!(!g.graph.has_edge(0, 1));
+        assert!(g.graph.has_edge(0, 2) && g.graph.has_edge(2, 1));
+    }
+
+    #[test]
+    fn tall_isoceles_keeps_all_edges() {
+        // Apex clearly farther from each base vertex than the base length:
+        // no vertex lies strictly inside another pair's lune, so the RNG
+        // keeps all three edges. (An *exactly* equilateral triangle sits on
+        // the strict-inequality boundary and is decided by floating-point
+        // rounding, so we test a configuration with real margins.)
+        let points = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.5, 1.2),
+        ];
+        let g = relative_neighborhood_graph(&points, 10.0);
+        assert_eq!(g.graph.num_edges(), 3);
+    }
+
+    #[test]
+    fn rng_subset_of_gabriel() {
+        let points = uniform(80, 45);
+        let g = relative_neighborhood_graph(&points, 10.0);
+        let gg = crate::gabriel::gabriel_graph(&points, 10.0);
+        for (u, v, _) in g.graph.edges() {
+            assert!(gg.graph.has_edge(u, v));
+        }
+        assert!(g.graph.num_edges() <= gg.graph.num_edges());
+    }
+
+    #[test]
+    fn connected_at_full_range() {
+        let points = uniform(70, 47);
+        let g = relative_neighborhood_graph(&points, 10.0);
+        assert!(adhoc_graph::is_connected(&g.graph));
+    }
+
+    #[test]
+    fn empty() {
+        assert!(relative_neighborhood_graph(&[], 1.0).is_empty());
+    }
+}

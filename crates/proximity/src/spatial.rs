@@ -1,0 +1,162 @@
+//! The carrier type shared by all geometric graph constructions.
+
+use adhoc_geom::Point;
+use adhoc_graph::{Graph, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// A graph embedded in the plane: node positions plus a distance-weighted
+/// topology. Every construction in this workspace stores the **Euclidean
+/// length** as the edge weight; energy weights (`|uv|^κ`) are derived on
+/// demand via [`SpatialGraph::energy_graph`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpatialGraph {
+    pub points: Vec<Point>,
+    pub graph: Graph,
+    /// The maximum transmission range `D` this graph was built under.
+    pub max_range: f64,
+}
+
+impl SpatialGraph {
+    /// Bundle positions + topology. Panics if the node counts disagree.
+    pub fn new(points: Vec<Point>, graph: Graph, max_range: f64) -> Self {
+        assert_eq!(
+            points.len(),
+            graph.num_nodes(),
+            "points and graph node counts must match"
+        );
+        SpatialGraph {
+            points,
+            graph,
+            max_range,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True iff there are no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Position of node `u`.
+    #[inline]
+    pub fn pos(&self, u: NodeId) -> Point {
+        self.points[u as usize]
+    }
+
+    /// Euclidean length of edge `(u, v)` — computed from positions, not
+    /// from the stored weight (so it also works for non-edges).
+    #[inline]
+    pub fn edge_len(&self, u: NodeId, v: NodeId) -> f64 {
+        self.pos(u).dist(self.pos(v))
+    }
+
+    /// The same topology re-weighted with transmission energy `|uv|^κ`
+    /// (paper §2.2; `κ ∈ [2, 4]`).
+    pub fn energy_graph(&self, kappa: f64) -> Graph {
+        assert!(kappa >= 1.0, "κ must be ≥ 1, got {kappa}");
+        let pts = &self.points;
+        self.graph.map_weights(|u, v, _| {
+            pts[u as usize].energy_cost(pts[v as usize], kappa)
+        })
+    }
+
+    /// The same topology re-weighted with unit (hop-count) weights.
+    pub fn hop_graph(&self) -> Graph {
+        self.graph.map_weights(|_, _, _| 1.0)
+    }
+
+    /// Longest edge in the topology (0.0 if there are no edges).
+    pub fn max_edge_len(&self) -> f64 {
+        self.graph
+            .edges()
+            .map(|(_, _, w)| w)
+            .fold(0.0f64, f64::max)
+    }
+
+    /// Shortest edge in the topology (`None` if there are no edges).
+    pub fn min_edge_len(&self) -> Option<f64> {
+        self.graph
+            .edges()
+            .map(|(_, _, w)| w)
+            .min_by(|a, b| a.partial_cmp(b).unwrap())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adhoc_graph::GraphBuilder;
+
+    fn sample() -> SpatialGraph {
+        let points = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 1.0),
+        ];
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 2, 1.0);
+        SpatialGraph::new(points, b.build(), 2.0)
+    }
+
+    #[test]
+    fn accessors() {
+        let sg = sample();
+        assert_eq!(sg.len(), 3);
+        assert!(!sg.is_empty());
+        assert_eq!(sg.pos(1), Point::new(1.0, 0.0));
+        assert!((sg.edge_len(0, 2) - 2f64.sqrt()).abs() < 1e-12);
+        assert_eq!(sg.max_range, 2.0);
+    }
+
+    #[test]
+    fn energy_reweighting() {
+        let sg = sample();
+        let e2 = sg.energy_graph(2.0);
+        assert_eq!(e2.edge_weight(0, 1), Some(1.0));
+        let e4 = sg.energy_graph(4.0);
+        assert_eq!(e4.edge_weight(1, 2), Some(1.0)); // unit edges unchanged
+        // Non-unit edge scales
+        let points = vec![Point::new(0.0, 0.0), Point::new(2.0, 0.0)];
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, 2.0);
+        let sg2 = SpatialGraph::new(points, b.build(), 3.0);
+        assert_eq!(sg2.energy_graph(2.0).edge_weight(0, 1), Some(4.0));
+        assert_eq!(sg2.energy_graph(3.0).edge_weight(0, 1), Some(8.0));
+    }
+
+    #[test]
+    fn hop_reweighting() {
+        let sg = sample();
+        let h = sg.hop_graph();
+        assert_eq!(h.edge_weight(0, 1), Some(1.0));
+        assert_eq!(h.num_edges(), 2);
+    }
+
+    #[test]
+    fn edge_len_extremes() {
+        let sg = sample();
+        assert_eq!(sg.max_edge_len(), 1.0);
+        assert_eq!(sg.min_edge_len(), Some(1.0));
+        let empty = SpatialGraph::new(vec![], GraphBuilder::new(0).build(), 1.0);
+        assert_eq!(empty.max_edge_len(), 0.0);
+        assert_eq!(empty.min_edge_len(), None);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        SpatialGraph::new(vec![Point::ORIGIN], GraphBuilder::new(2).build(), 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_kappa_panics() {
+        sample().energy_graph(0.5);
+    }
+}

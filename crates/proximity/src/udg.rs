@@ -1,0 +1,102 @@
+//! The transmission graph `G*` (unit-disk graph with maximum range `D`).
+//!
+//! Paper §2: "`G* = (V, E)` contains an edge between two nodes `u` and `v`
+//! if they can directly communicate with each other", i.e. `|uv| ≤ D`.
+
+use crate::spatial::SpatialGraph;
+use adhoc_geom::{GridIndex, Point};
+use adhoc_graph::GraphBuilder;
+
+/// Build `G*`: every pair of nodes within `range` is connected, with the
+/// Euclidean length as the edge weight. Grid-accelerated (expected
+/// near-linear for bounded-density inputs).
+///
+/// # Panics
+/// Panics unless `range` is positive and finite.
+pub fn unit_disk_graph(points: &[Point], range: f64) -> SpatialGraph {
+    assert!(
+        range.is_finite() && range > 0.0,
+        "range must be positive, got {range}"
+    );
+    let n = points.len();
+    let mut b = GraphBuilder::new(n);
+    if n > 0 {
+        let grid = GridIndex::build(points, range);
+        for u in 0..n as u32 {
+            grid.for_each_within(points[u as usize], range, |v| {
+                // Emit each undirected pair once; distinct indices with
+                // coincident coordinates are still distinct nodes but would
+                // create zero-length edges, which we keep (cost 0).
+                if v > u {
+                    b.add_edge(u, v, points[u as usize].dist(points[v as usize]));
+                }
+            });
+        }
+    }
+    SpatialGraph::new(points.to_vec(), b.build(), range)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn matches_brute_force() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let points: Vec<Point> = (0..120)
+            .map(|_| Point::new(rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect();
+        let range = 0.22;
+        let udg = unit_disk_graph(&points, range);
+        let mut expected = 0usize;
+        for i in 0..points.len() {
+            for j in (i + 1)..points.len() {
+                let within = points[i].dist(points[j]) <= range;
+                assert_eq!(
+                    udg.graph.has_edge(i as u32, j as u32),
+                    within,
+                    "pair ({i},{j})"
+                );
+                expected += within as usize;
+            }
+        }
+        assert_eq!(udg.graph.num_edges(), expected);
+    }
+
+    #[test]
+    fn weights_are_distances() {
+        let points = vec![Point::new(0.0, 0.0), Point::new(0.3, 0.4)];
+        let udg = unit_disk_graph(&points, 1.0);
+        assert!((udg.graph.edge_weight(0, 1).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(unit_disk_graph(&[], 1.0).is_empty());
+        let one = unit_disk_graph(&[Point::ORIGIN], 1.0);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one.graph.num_edges(), 0);
+    }
+
+    #[test]
+    fn boundary_distance_included() {
+        let points = vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)];
+        let udg = unit_disk_graph(&points, 1.0);
+        assert!(udg.graph.has_edge(0, 1)); // |uv| = D counts as connected
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_range_panics() {
+        unit_disk_graph(&[Point::ORIGIN], 0.0);
+    }
+
+    #[test]
+    fn coincident_points_connected_at_zero_cost() {
+        let points = vec![Point::new(0.5, 0.5), Point::new(0.5, 0.5)];
+        let udg = unit_disk_graph(&points, 0.1);
+        assert_eq!(udg.graph.edge_weight(0, 1), Some(0.0));
+    }
+}

@@ -1,0 +1,294 @@
+//! Anycast balancing — the generalization of Awerbuch, Brinkmann and
+//! Scheideler that §1.2/§3 build on ("extended these results to arbitrary
+//! anycasting situations and showed that simple balancing strategies
+//! achieve a throughput that can be brought arbitrarily close to a best
+//! possible throughput").
+//!
+//! A packet is addressed to a destination *group*; reaching **any**
+//! member absorbs it. The balancing rule is unchanged — per active edge,
+//! send toward the group with the largest height difference minus
+//! `γ·c(e)` — with every group member's buffer pinned at height 0.
+
+use crate::types::{ActiveEdge, Metrics, Send};
+use serde::{Deserialize, Serialize};
+
+/// A destination group (anycast address).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Group {
+    /// Group id (index into the router's group table).
+    pub id: u32,
+    /// Member node ids; reaching any of them delivers.
+    pub members: Vec<u32>,
+}
+
+/// The anycast `(T,γ)`-balancing router.
+#[derive(Debug, Clone)]
+pub struct AnycastRouter {
+    threshold: f64,
+    gamma: f64,
+    capacity: u32,
+    groups: Vec<Vec<u32>>,
+    /// `is_member[g][v]`
+    is_member: Vec<Vec<bool>>,
+    /// heights[v * groups + g]
+    heights: Vec<u32>,
+    metrics: Metrics,
+    absorbed: u64,
+}
+
+impl AnycastRouter {
+    /// Router over `num_nodes` nodes with the given destination groups.
+    ///
+    /// # Panics
+    /// Panics on empty groups or out-of-range members.
+    pub fn new(
+        num_nodes: usize,
+        groups: &[Vec<u32>],
+        threshold: f64,
+        gamma: f64,
+        capacity: u32,
+    ) -> Self {
+        let mut is_member = vec![vec![false; num_nodes]; groups.len()];
+        for (g, members) in groups.iter().enumerate() {
+            assert!(!members.is_empty(), "group {g} is empty");
+            for &m in members {
+                assert!((m as usize) < num_nodes, "member {m} out of range");
+                is_member[g][m as usize] = true;
+            }
+        }
+        AnycastRouter {
+            threshold,
+            gamma,
+            capacity,
+            groups: groups.to_vec(),
+            is_member,
+            heights: vec![0; num_nodes * groups.len()],
+            metrics: Metrics::default(),
+            absorbed: 0,
+        }
+    }
+
+    /// Number of destination groups.
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Members of group `g`.
+    pub fn members(&self, g: u32) -> &[u32] {
+        &self.groups[g as usize]
+    }
+
+    /// Metrics so far.
+    pub fn metrics(&self) -> Metrics {
+        self.metrics
+    }
+
+    #[inline]
+    fn idx(&self, v: u32, g: usize) -> usize {
+        v as usize * self.groups.len() + g
+    }
+
+    /// Height of the group-`g` buffer at `v` (0 at members).
+    pub fn height(&self, v: u32, g: u32) -> u32 {
+        if self.is_member[g as usize][v as usize] {
+            0
+        } else {
+            self.heights[self.idx(v, g as usize)]
+        }
+    }
+
+    /// Inject a packet for group `g` at node `v`; injecting at a member
+    /// is an instant delivery; full buffers drop.
+    pub fn inject(&mut self, v: u32, g: u32) -> bool {
+        if self.is_member[g as usize][v as usize] {
+            self.absorbed += 1;
+            self.metrics.injected += 1;
+            self.metrics.delivered += 1;
+            return true;
+        }
+        let i = self.idx(v, g as usize);
+        if self.heights[i] >= self.capacity {
+            self.metrics.dropped += 1;
+            return false;
+        }
+        self.heights[i] += 1;
+        self.metrics.injected += 1;
+        true
+    }
+
+    /// One synchronous balancing step over the active edges.
+    pub fn step(&mut self, active: &[ActiveEdge]) -> Vec<Send> {
+        // Decide from a consistent snapshot.
+        let mut sends: Vec<Send> = Vec::new();
+        for e in active {
+            for (from, to) in [(e.u, e.v), (e.v, e.u)] {
+                let mut best: Option<(f64, u32)> = None;
+                for g in 0..self.groups.len() as u32 {
+                    let value = self.height(from, g) as f64
+                        - self.height(to, g) as f64
+                        - e.cost * self.gamma;
+                    if value > self.threshold && best.is_none_or(|(bv, _)| value > bv) {
+                        best = Some((value, g));
+                    }
+                }
+                if let Some((_, g)) = best {
+                    sends.push(Send {
+                        from,
+                        to,
+                        dest: g, // dest field carries the group id
+                        cost: e.cost,
+                    });
+                }
+            }
+        }
+        // Apply with true-state guards.
+        for s in &sends {
+            let g = s.dest as usize;
+            let from_i = self.idx(s.from, g);
+            if self.is_member[g][s.from as usize] || self.heights[from_i] == 0 {
+                continue;
+            }
+            if self.is_member[g][s.to as usize] {
+                self.heights[from_i] -= 1;
+                self.absorbed += 1;
+                self.metrics.delivered += 1;
+            } else {
+                let to_i = self.idx(s.to, g);
+                if self.heights[to_i] >= self.capacity {
+                    continue;
+                }
+                self.heights[from_i] -= 1;
+                self.heights[to_i] += 1;
+            }
+            self.metrics.sends += 1;
+            self.metrics.total_cost += s.cost;
+        }
+        self.metrics.steps += 1;
+        sends
+    }
+
+    /// Total packets currently buffered.
+    pub fn total_buffered(&self) -> u64 {
+        self.heights.iter().map(|&h| h as u64).sum()
+    }
+
+    /// Conservation: injected = absorbed + buffered.
+    pub fn conserved(&self) -> bool {
+        self.metrics.injected == self.absorbed + self.total_buffered()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Path 0-1-2-3-4; group = {3, 4}.
+    fn edges() -> Vec<ActiveEdge> {
+        (0..4).map(|i| ActiveEdge::new(i, i + 1, 0.1)).collect()
+    }
+
+    fn router() -> AnycastRouter {
+        AnycastRouter::new(5, &[vec![3, 4]], 0.5, 0.0, 50)
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_group_rejected() {
+        AnycastRouter::new(3, &[vec![]], 0.0, 0.0, 10);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_member_rejected() {
+        AnycastRouter::new(3, &[vec![7]], 0.0, 0.0, 10);
+    }
+
+    #[test]
+    fn delivers_to_nearest_member() {
+        let mut r = router();
+        let e = edges();
+        for _ in 0..100 {
+            r.inject(0, 0);
+            r.step(&e);
+        }
+        let m = r.metrics();
+        assert!(m.delivered > 30, "delivered {}", m.delivered);
+        assert!(r.conserved());
+        // Packets absorb at node 3 (first member on the path) — node 4's
+        // buffers never fill because member heights are pinned at 0.
+        assert_eq!(r.height(3, 0), 0);
+        assert_eq!(r.height(4, 0), 0);
+    }
+
+    #[test]
+    fn injection_at_member_is_instant_delivery() {
+        let mut r = router();
+        assert!(r.inject(4, 0));
+        assert_eq!(r.metrics().delivered, 1);
+        assert!(r.conserved());
+    }
+
+    #[test]
+    fn anycast_beats_unicast_to_far_member() {
+        // Unicast to node 4 must cross 4 hops; anycast absorbs at node 3
+        // after 3 hops — strictly fewer sends per delivery.
+        let mut any = router();
+        let mut uni = crate::balancing::BalancingRouter::new(
+            5,
+            &[4],
+            crate::balancing::BalancingConfig {
+                threshold: 0.5,
+                gamma: 0.0,
+                capacity: 50,
+            },
+        );
+        let e = edges();
+        for _ in 0..400 {
+            any.inject(0, 0);
+            uni.inject(0, 4);
+            any.step(&e);
+            uni.step(&e);
+        }
+        let (ma, mu) = (any.metrics(), uni.metrics());
+        assert!(ma.delivered >= mu.delivered);
+        let hops_any = ma.sends as f64 / ma.delivered.max(1) as f64;
+        let hops_uni = mu.sends as f64 / mu.delivered.max(1) as f64;
+        assert!(
+            hops_any < hops_uni,
+            "anycast {hops_any} hops vs unicast {hops_uni}"
+        );
+    }
+
+    #[test]
+    fn multiple_groups_independent() {
+        let mut r = AnycastRouter::new(5, &[vec![4], vec![0]], 0.0, 0.0, 50);
+        let e = edges();
+        for _ in 0..200 {
+            r.inject(0, 0); // toward node 4
+            r.inject(4, 1); // toward node 0
+            r.step(&e);
+        }
+        let m = r.metrics();
+        assert!(m.delivered > 100);
+        assert!(r.conserved());
+    }
+
+    #[test]
+    fn capacity_drops() {
+        let mut r = AnycastRouter::new(3, &[vec![2]], 10.0, 0.0, 2);
+        for _ in 0..5 {
+            r.inject(0, 0);
+        }
+        let m = r.metrics();
+        assert_eq!(m.injected, 2);
+        assert_eq!(m.dropped, 3);
+        assert!(r.conserved());
+    }
+
+    #[test]
+    fn member_queries() {
+        let r = router();
+        assert_eq!(r.num_groups(), 1);
+        assert_eq!(r.members(0), &[3, 4]);
+    }
+}

@@ -1,0 +1,284 @@
+//! Per-(node, destination) packet buffers (paper §3.1).
+//!
+//! Every node `v` has one buffer `Q_{v,d}` per destination `d`, of bounded
+//! height `H`. The destination's own buffer `Q_{d,d}` absorbs instantly,
+//! so its height is always 0. Packets are fungible within a buffer (the
+//! balancing analysis only tracks heights), so the bank stores a dense
+//! `n × |dests|` height matrix.
+
+use crate::types::MoveOutcome;
+
+/// Dense height matrix with absorption and conservation accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BufferBank {
+    num_nodes: usize,
+    /// The declared destinations, in column order.
+    dests: Vec<u32>,
+    /// `dest_col[v]` = column of destination `v`, or `u16::MAX`.
+    dest_col: Vec<u16>,
+    heights: Vec<u32>,
+    capacity: u32,
+    /// Total packets absorbed at destinations.
+    absorbed: u64,
+}
+
+impl BufferBank {
+    /// A bank for `num_nodes` nodes and the given destination set, each
+    /// buffer holding at most `capacity` packets.
+    ///
+    /// # Panics
+    /// Panics if a destination id is out of range, duplicated, or there
+    /// are more than `u16::MAX - 1` destinations.
+    pub fn new(num_nodes: usize, dests: &[u32], capacity: u32) -> Self {
+        assert!(dests.len() < u16::MAX as usize, "too many destinations");
+        let mut dest_col = vec![u16::MAX; num_nodes];
+        for (i, &d) in dests.iter().enumerate() {
+            assert!((d as usize) < num_nodes, "destination {d} out of range");
+            assert!(dest_col[d as usize] == u16::MAX, "duplicate destination {d}");
+            dest_col[d as usize] = i as u16;
+        }
+        BufferBank {
+            num_nodes,
+            dests: dests.to_vec(),
+            dest_col,
+            heights: vec![0; num_nodes * dests.len()],
+            capacity,
+            absorbed: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// The destination set (column order).
+    pub fn dests(&self) -> &[u32] {
+        &self.dests
+    }
+
+    /// Buffer capacity `H`.
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// Column of destination `d`, if `d` is a declared destination.
+    pub fn col_of(&self, d: u32) -> Option<usize> {
+        let c = self.dest_col[d as usize];
+        (c != u16::MAX).then_some(c as usize)
+    }
+
+    #[inline]
+    fn idx(&self, v: u32, col: usize) -> usize {
+        v as usize * self.dests.len() + col
+    }
+
+    /// Height of `Q_{v,d}` (0 for the destination's own buffer).
+    ///
+    /// # Panics
+    /// Panics if `d` is not a declared destination.
+    pub fn height(&self, v: u32, d: u32) -> u32 {
+        if v == d {
+            return 0;
+        }
+        let col = self.col_of(d).expect("undeclared destination");
+        self.heights[self.idx(v, col)]
+    }
+
+    /// Heights of all buffers at node `v`, in destination column order.
+    pub fn heights_at(&self, v: u32) -> &[u32] {
+        let d = self.dests.len();
+        &self.heights[v as usize * d..(v as usize + 1) * d]
+    }
+
+    /// Can `Q_{v,d}` accept one more packet? (Destinations always can.)
+    pub fn can_accept(&self, v: u32, d: u32) -> bool {
+        v == d || self.height(v, d) < self.capacity
+    }
+
+    /// Inject a new packet for destination `d` at node `v`. Returns
+    /// `false` (drop) when the buffer is full. Injecting at the
+    /// destination itself is an immediate delivery.
+    pub fn inject(&mut self, v: u32, d: u32) -> bool {
+        if v == d {
+            self.absorbed += 1;
+            return true;
+        }
+        let col = self.col_of(d).expect("undeclared destination");
+        let i = self.idx(v, col);
+        if self.heights[i] >= self.capacity {
+            return false;
+        }
+        self.heights[i] += 1;
+        true
+    }
+
+    /// Move one packet for destination `d` from `v` to `w`.
+    ///
+    /// # Panics
+    /// Panics if `Q_{v,d}` is empty; callers must check heights first.
+    pub fn transfer(&mut self, v: u32, w: u32, d: u32) -> MoveOutcome {
+        let col = self.col_of(d).expect("undeclared destination");
+        let iv = self.idx(v, col);
+        assert!(self.heights[iv] > 0, "transfer from empty buffer");
+        self.heights[iv] -= 1;
+        if w == d {
+            self.absorbed += 1;
+            MoveOutcome::Delivered
+        } else {
+            let iw = self.idx(w, col);
+            self.heights[iw] += 1;
+            MoveOutcome::Buffered
+        }
+    }
+
+    /// Discard one packet from `Q_{v,d}` without delivering it (TTL
+    /// expiry, void drops). Returns `false` if the buffer was empty.
+    pub fn discard(&mut self, v: u32, d: u32) -> bool {
+        let col = self.col_of(d).expect("undeclared destination");
+        let i = self.idx(v, col);
+        if self.heights[i] == 0 {
+            return false;
+        }
+        self.heights[i] -= 1;
+        true
+    }
+
+    /// Total packets currently buffered anywhere.
+    pub fn total_buffered(&self) -> u64 {
+        self.heights.iter().map(|&h| h as u64).sum()
+    }
+
+    /// Total packets absorbed at destinations so far.
+    pub fn total_absorbed(&self) -> u64 {
+        self.absorbed
+    }
+
+    /// Maximum buffer height currently in use.
+    pub fn max_height(&self) -> u32 {
+        self.heights.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bank() -> BufferBank {
+        BufferBank::new(4, &[2, 3], 2)
+    }
+
+    #[test]
+    fn construction() {
+        let b = bank();
+        assert_eq!(b.num_nodes(), 4);
+        assert_eq!(b.dests(), &[2, 3]);
+        assert_eq!(b.capacity(), 2);
+        assert_eq!(b.col_of(2), Some(0));
+        assert_eq!(b.col_of(3), Some(1));
+        assert_eq!(b.col_of(0), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_dest_panics() {
+        BufferBank::new(4, &[1, 1], 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_dest_panics() {
+        BufferBank::new(4, &[9], 2);
+    }
+
+    #[test]
+    fn inject_and_height() {
+        let mut b = bank();
+        assert!(b.inject(0, 2));
+        assert!(b.inject(0, 2));
+        assert_eq!(b.height(0, 2), 2);
+        assert!(!b.inject(0, 2)); // full → drop
+        assert_eq!(b.height(0, 2), 2);
+        assert_eq!(b.height(0, 3), 0);
+        assert_eq!(b.total_buffered(), 2);
+    }
+
+    #[test]
+    fn inject_at_destination_delivers() {
+        let mut b = bank();
+        assert!(b.inject(2, 2));
+        assert_eq!(b.total_absorbed(), 1);
+        assert_eq!(b.total_buffered(), 0);
+    }
+
+    #[test]
+    fn destination_height_is_zero() {
+        let b = bank();
+        assert_eq!(b.height(2, 2), 0);
+        assert!(b.can_accept(2, 2));
+    }
+
+    #[test]
+    fn transfer_moves_and_delivers() {
+        let mut b = bank();
+        b.inject(0, 2);
+        assert_eq!(b.transfer(0, 1, 2), MoveOutcome::Buffered);
+        assert_eq!(b.height(0, 2), 0);
+        assert_eq!(b.height(1, 2), 1);
+        assert_eq!(b.transfer(1, 2, 2), MoveOutcome::Delivered);
+        assert_eq!(b.total_absorbed(), 1);
+        assert_eq!(b.total_buffered(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn transfer_from_empty_panics() {
+        let mut b = bank();
+        b.transfer(0, 1, 2);
+    }
+
+    #[test]
+    fn conservation_invariant() {
+        // injected = buffered + absorbed + dropped, tracked externally:
+        // here we just confirm the bank's two counters add up.
+        let mut b = bank();
+        let mut accepted = 0u64;
+        for v in 0..2u32 {
+            for _ in 0..3 {
+                if b.inject(v, 3) {
+                    accepted += 1;
+                }
+            }
+        }
+        assert_eq!(accepted, 4); // capacity 2 each at nodes 0 and 1
+        b.transfer(0, 3, 3);
+        b.transfer(1, 0, 3);
+        assert_eq!(b.total_buffered() + b.total_absorbed(), accepted);
+    }
+
+    #[test]
+    fn heights_at_slice() {
+        let mut b = bank();
+        b.inject(1, 2);
+        b.inject(1, 3);
+        b.inject(1, 3);
+        assert_eq!(b.heights_at(1), &[1, 2]);
+        assert_eq!(b.heights_at(0), &[0, 0]);
+    }
+
+    #[test]
+    fn max_height_tracks() {
+        let mut b = bank();
+        assert_eq!(b.max_height(), 0);
+        b.inject(0, 2);
+        b.inject(0, 2);
+        assert_eq!(b.max_height(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_drops_everything() {
+        let mut b = BufferBank::new(2, &[1], 0);
+        assert!(!b.inject(0, 1));
+        assert!(b.inject(1, 1)); // destination absorbs regardless
+    }
+}

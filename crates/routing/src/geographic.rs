@@ -1,0 +1,226 @@
+//! Greedy geographic forwarding — the position-based baseline (the paper
+//! cites GPSR and "routing protocols that exploit the underlying geometry
+//! of the network" in §1.2).
+//!
+//! Each node forwards a packet to the neighbor strictly closest to the
+//! destination's position; if no neighbor improves on the current node
+//! (a *local minimum* — the void problem), the packet is stuck and, after
+//! a patience budget, dropped. The experiment value of this baseline is
+//! the contrast: greedy forwarding needs no buffers or height exchange,
+//! but it silently fails on voids, while the balancing algorithm is
+//! void-oblivious (backpressure flows around anything) at the price of
+//! state.
+
+use crate::buffers::BufferBank;
+use crate::types::{ActiveEdge, Metrics, MoveOutcome};
+use adhoc_geom::Point;
+
+/// Greedy geographic router over a fixed node embedding.
+#[derive(Debug, Clone)]
+pub struct GeoGreedyRouter {
+    positions: Vec<Point>,
+    bank: BufferBank,
+    metrics: Metrics,
+    /// Packets discarded at a local minimum.
+    pub stuck_drops: u64,
+    /// Steps a buffered packet may wait at a local minimum before being
+    /// discarded (models TTL).
+    patience: u32,
+    /// wait[v][dest_col] — steps the head-of-buffer packet has been stuck.
+    wait: Vec<u32>,
+}
+
+impl GeoGreedyRouter {
+    /// Router for nodes at `positions` toward the given destinations.
+    pub fn new(positions: &[Point], dests: &[u32], capacity: u32, patience: u32) -> Self {
+        let bank = BufferBank::new(positions.len(), dests, capacity);
+        GeoGreedyRouter {
+            wait: vec![0; positions.len() * dests.len()],
+            positions: positions.to_vec(),
+            bank,
+            metrics: Metrics::default(),
+            stuck_drops: 0,
+            patience,
+        }
+    }
+
+    /// Read-only buffer view.
+    pub fn bank(&self) -> &BufferBank {
+        &self.bank
+    }
+
+    /// Metrics so far.
+    pub fn metrics(&self) -> Metrics {
+        self.metrics
+    }
+
+    /// Inject with admission control.
+    pub fn inject(&mut self, v: u32, d: u32) -> bool {
+        if self.bank.inject(v, d) {
+            self.metrics.injected += 1;
+            if v == d {
+                self.metrics.delivered += 1;
+            }
+            true
+        } else {
+            self.metrics.dropped += 1;
+            false
+        }
+    }
+
+    /// One step: each active edge direction `(u → v)` may carry one packet
+    /// whose destination is strictly closer to `v` than to `u` AND for
+    /// which `v` is `u`'s best active next hop.
+    pub fn step(&mut self, active: &[ActiveEdge]) {
+        let dests: Vec<u32> = self.bank.dests().to_vec();
+        // adjacency view of this step's active edges
+        let mut moves: Vec<(u32, u32, u32)> = Vec::new();
+        for (col, &d) in dests.iter().enumerate() {
+            let pd = self.positions[d as usize];
+            // For each node holding packets for d, find its best active
+            // neighbor this step.
+            let mut best: std::collections::HashMap<u32, (f64, u32)> =
+                std::collections::HashMap::new();
+            for e in active {
+                for (from, to) in [(e.u, e.v), (e.v, e.u)] {
+                    if self.bank.height(from, d) == 0 {
+                        continue;
+                    }
+                    let dist_to = self.positions[to as usize].dist(pd);
+                    let cur = best.entry(from).or_insert((f64::INFINITY, u32::MAX));
+                    if dist_to < cur.0 {
+                        *cur = (dist_to, to);
+                    }
+                }
+            }
+            for (from, (dist_to, to)) in best {
+                let here = self.positions[from as usize].dist(pd);
+                let w_idx = from as usize * dests.len() + col;
+                if dist_to < here {
+                    moves.push((from, to, d));
+                    self.wait[w_idx] = 0;
+                } else {
+                    // local minimum: all active neighbors are farther
+                    self.wait[w_idx] += 1;
+                    if self.wait[w_idx] > self.patience {
+                        // TTL expiry: discard one stuck packet
+                        if self.bank.discard(from, d) {
+                            self.stuck_drops += 1;
+                        }
+                        self.wait[w_idx] = 0;
+                    }
+                }
+            }
+        }
+        for (from, to, d) in moves {
+            if self.bank.height(from, d) == 0 || !self.bank.can_accept(to, d) {
+                continue;
+            }
+            match self.bank.transfer(from, to, d) {
+                MoveOutcome::Delivered => self.metrics.delivered += 1,
+                MoveOutcome::Buffered => {}
+            }
+            self.metrics.sends += 1;
+        }
+        self.metrics.steps += 1;
+    }
+
+    /// Conservation: injected = delivered + buffered + stuck-dropped.
+    pub fn conserved(&self) -> bool {
+        self.metrics.injected
+            == self.bank.total_absorbed() + self.bank.total_buffered() + self.stuck_drops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: usize, spacing: f64) -> Vec<Point> {
+        (0..n).map(|i| Point::new(spacing * i as f64, 0.0)).collect()
+    }
+
+    fn chain_edges(n: usize) -> Vec<ActiveEdge> {
+        (0..n as u32 - 1)
+            .map(|i| ActiveEdge::new(i, i + 1, 0.1))
+            .collect()
+    }
+
+    #[test]
+    fn forwards_greedily_along_a_line() {
+        let positions = line(5, 1.0);
+        let mut r = GeoGreedyRouter::new(&positions, &[4], 10, 5);
+        r.inject(0, 4);
+        let edges = chain_edges(5);
+        for _ in 0..4 {
+            r.step(&edges);
+        }
+        let m = r.metrics();
+        assert_eq!(m.delivered, 1);
+        assert_eq!(m.sends, 4); // exactly the hop count: geometric progress
+        assert!(r.conserved());
+    }
+
+    #[test]
+    fn never_moves_away_from_destination() {
+        // Destination at node 0; packet at node 2; only edge (2,3) active
+        // points AWAY — greedy must refuse to use it.
+        let positions = line(4, 1.0);
+        let mut r = GeoGreedyRouter::new(&positions, &[0], 10, 100);
+        r.inject(2, 0);
+        r.step(&[ActiveEdge::new(2, 3, 0.1)]);
+        assert_eq!(r.metrics().sends, 0);
+        assert_eq!(r.bank().height(2, 0), 1);
+        assert!(r.conserved());
+    }
+
+    #[test]
+    fn void_drops_after_patience() {
+        // A dead-end: the only neighbor is farther from the destination,
+        // so the packet is stuck and eventually TTL-discarded.
+        let positions = vec![
+            Point::new(0.0, 0.0), // dest
+            Point::new(5.0, 0.0), // stuck holder
+            Point::new(6.0, 0.0), // its only neighbor, farther from dest
+        ];
+        let mut r = GeoGreedyRouter::new(&positions, &[0], 10, 3);
+        r.inject(1, 0);
+        let edges = [ActiveEdge::new(1, 2, 0.1)];
+        for _ in 0..10 {
+            r.step(&edges);
+        }
+        assert_eq!(r.stuck_drops, 1);
+        assert_eq!(r.metrics().delivered, 0);
+        assert!(r.conserved());
+    }
+
+    #[test]
+    fn picks_the_closest_active_neighbor() {
+        // Node 0 holds a packet for node 3; neighbors 1 (closer) and 2
+        // (closest) both active: must pick 2.
+        let positions = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(3.0, 0.0),
+        ];
+        let mut r = GeoGreedyRouter::new(&positions, &[3], 10, 5);
+        r.inject(0, 3);
+        r.step(&[ActiveEdge::new(0, 1, 0.1), ActiveEdge::new(0, 2, 0.1)]);
+        assert_eq!(r.bank().height(2, 3), 1);
+        assert_eq!(r.bank().height(1, 3), 0);
+    }
+
+    #[test]
+    fn conservation_under_mixed_traffic() {
+        let positions = line(6, 1.0);
+        let mut r = GeoGreedyRouter::new(&positions, &[0, 5], 4, 2);
+        let edges = chain_edges(6);
+        for s in 0..200u32 {
+            r.inject(s % 6, if s % 2 == 0 { 0 } else { 5 });
+            r.step(&edges);
+        }
+        assert!(r.conserved());
+        assert!(r.metrics().delivered > 50);
+    }
+}

@@ -1,0 +1,220 @@
+//! Shortest-path greedy baseline router.
+//!
+//! A conventional (non-adversarial) protocol for the comparison tables:
+//! next hops follow a shortest-path tree toward each destination,
+//! computed once on the static topology; each active edge direction
+//! forwards at most one packet per step (highest-backlog destination
+//! first); buffers drop on overflow at injection. It has no threshold and
+//! no cost-awareness beyond the initial path metric — exactly the kind of
+//! protocol the `(T, γ)`-balancing analysis outperforms under adversarial
+//! cost changes.
+
+use crate::buffers::BufferBank;
+use crate::types::{ActiveEdge, Metrics, MoveOutcome};
+use adhoc_graph::{dijkstra, Graph};
+
+/// The baseline router.
+#[derive(Debug, Clone)]
+pub struct GreedyRouter {
+    /// `next_hop[col][v]` = next node from `v` toward destination column
+    /// `col` (`u32::MAX` if unreachable or at the destination).
+    next_hop: Vec<Vec<u32>>,
+    bank: BufferBank,
+    metrics: Metrics,
+}
+
+impl GreedyRouter {
+    /// Precompute shortest-path next hops on `graph` (weights = costs)
+    /// for every destination.
+    pub fn new(graph: &Graph, dests: &[u32], capacity: u32) -> Self {
+        let n = graph.num_nodes();
+        let mut next_hop = Vec::with_capacity(dests.len());
+        for &d in dests {
+            // Shortest-path tree rooted at the destination: the parent of
+            // v in that tree is v's next hop toward d.
+            let sp = dijkstra(graph, d);
+            let mut hops = vec![u32::MAX; n];
+            for v in 0..n as u32 {
+                if v != d && sp.reachable(v) {
+                    hops[v as usize] = sp.parent[v as usize];
+                }
+            }
+            next_hop.push(hops);
+        }
+        GreedyRouter {
+            next_hop,
+            bank: BufferBank::new(n, dests, capacity),
+            metrics: Metrics::default(),
+        }
+    }
+
+    /// Read-only buffer view.
+    pub fn bank(&self) -> &BufferBank {
+        &self.bank
+    }
+
+    /// Metrics so far.
+    pub fn metrics(&self) -> Metrics {
+        self.metrics
+    }
+
+    /// Next hop from `v` toward `d` (`None` at the destination or if
+    /// unreachable).
+    pub fn next_hop(&self, v: u32, d: u32) -> Option<u32> {
+        let col = self.bank.col_of(d)?;
+        let h = self.next_hop[col][v as usize];
+        (h != u32::MAX).then_some(h)
+    }
+
+    /// Inject with admission control.
+    pub fn inject(&mut self, v: u32, d: u32) -> bool {
+        if self.bank.inject(v, d) {
+            self.metrics.injected += 1;
+            if v == d {
+                self.metrics.delivered += 1;
+            }
+            true
+        } else {
+            self.metrics.dropped += 1;
+            false
+        }
+    }
+
+    /// One step: each active edge direction forwards at most one packet
+    /// whose shortest path uses that edge, preferring the destination
+    /// with the largest backlog.
+    pub fn step(&mut self, active: &[ActiveEdge]) {
+        // Decide synchronously, then apply.
+        let mut moves: Vec<(u32, u32, u32, f64)> = Vec::new();
+        for e in active {
+            for (from, to) in [(e.u, e.v), (e.v, e.u)] {
+                let mut best: Option<(u32, u32)> = None; // (height, dest)
+                for &d in self.bank.dests() {
+                    if self.next_hop(from, d) == Some(to) {
+                        let h = self.bank.height(from, d);
+                        if h > 0 && best.is_none_or(|(bh, _)| h > bh) {
+                            best = Some((h, d));
+                        }
+                    }
+                }
+                if let Some((_, d)) = best {
+                    moves.push((from, to, d, e.cost));
+                }
+            }
+        }
+        for (from, to, d, cost) in moves {
+            if self.bank.height(from, d) == 0 || !self.bank.can_accept(to, d) {
+                continue;
+            }
+            match self.bank.transfer(from, to, d) {
+                MoveOutcome::Delivered => self.metrics.delivered += 1,
+                MoveOutcome::Buffered => {}
+            }
+            self.metrics.sends += 1;
+            self.metrics.total_cost += cost;
+        }
+        self.metrics.steps += 1;
+    }
+
+    /// Conservation invariant.
+    pub fn conserved(&self) -> bool {
+        self.metrics.injected == self.bank.total_absorbed() + self.bank.total_buffered()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adhoc_graph::GraphBuilder;
+
+    /// 0 -1- 1 -1- 2 and a costly shortcut 0 -5- 2.
+    fn diamond() -> Graph {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 2, 1.0);
+        b.add_edge(0, 2, 5.0);
+        b.build()
+    }
+
+    #[test]
+    fn next_hops_follow_shortest_paths() {
+        let r = GreedyRouter::new(&diamond(), &[2], 10);
+        assert_eq!(r.next_hop(0, 2), Some(1)); // via the cheap path
+        assert_eq!(r.next_hop(1, 2), Some(2));
+        assert_eq!(r.next_hop(2, 2), None);
+    }
+
+    #[test]
+    fn unreachable_has_no_next_hop() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1.0);
+        let r = GreedyRouter::new(&b.build(), &[2], 10);
+        assert_eq!(r.next_hop(0, 2), None);
+    }
+
+    #[test]
+    fn forwards_and_delivers() {
+        let g = diamond();
+        let mut r = GreedyRouter::new(&g, &[2], 10);
+        r.inject(0, 2);
+        let edges: Vec<ActiveEdge> = g.edges().map(|(u, v, w)| ActiveEdge::new(u, v, w)).collect();
+        r.step(&edges);
+        r.step(&edges);
+        let m = r.metrics();
+        assert_eq!(m.delivered, 1);
+        assert_eq!(m.sends, 2);
+        assert_eq!(m.total_cost, 2.0); // took the cheap 2-hop path
+        assert!(r.conserved());
+    }
+
+    #[test]
+    fn one_packet_per_edge_direction_per_step() {
+        let g = diamond();
+        let mut r = GreedyRouter::new(&g, &[2], 10);
+        for _ in 0..5 {
+            r.inject(1, 2);
+        }
+        r.step(&[ActiveEdge::new(1, 2, 1.0)]);
+        assert_eq!(r.metrics().sends, 1);
+        assert_eq!(r.bank().height(1, 2), 4);
+    }
+
+    #[test]
+    fn inactive_edges_unused() {
+        let g = diamond();
+        let mut r = GreedyRouter::new(&g, &[2], 10);
+        r.inject(0, 2);
+        r.step(&[]); // nothing active
+        assert_eq!(r.metrics().sends, 0);
+        assert_eq!(r.bank().height(0, 2), 1);
+    }
+
+    #[test]
+    fn largest_backlog_dest_preferred() {
+        // Two destinations share the next hop; the fuller buffer goes
+        // first.
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 2, 1.0);
+        b.add_edge(1, 3, 1.0);
+        let g = b.build();
+        let mut r = GreedyRouter::new(&g, &[2, 3], 10);
+        r.inject(0, 2);
+        r.inject(0, 3);
+        r.inject(0, 3);
+        r.step(&[ActiveEdge::new(0, 1, 1.0)]);
+        assert_eq!(r.bank().height(1, 3), 1); // dest 3 had backlog 2
+        assert_eq!(r.bank().height(1, 2), 0);
+    }
+
+    #[test]
+    fn drops_on_overflow() {
+        let g = diamond();
+        let mut r = GreedyRouter::new(&g, &[2], 2);
+        for _ in 0..5 {
+            r.inject(0, 2);
+        }
+        assert_eq!(r.metrics().dropped, 3);
+        assert!(r.conserved());
+    }
+}

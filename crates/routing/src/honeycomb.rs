@@ -1,0 +1,379 @@
+//! The honeycomb algorithm for fixed transmission strength (paper §3.4).
+//!
+//! All nodes transmit at the same fixed power: any node within distance 1
+//! can receive, and two exchanges conflict when any endpoint of one is
+//! within `1 + Δ` of any endpoint of the other. The plane is tiled by
+//! hexagons of side `3 + 2Δ` (Figure 5); each step:
+//!
+//! 1. every unit-range node pair computes its *benefit* — the maximum
+//!    buffer-height difference over all destinations;
+//! 2. within each hexagon the max-benefit pair with benefit > `T` becomes
+//!    the *contestant* (Lemma 3.6: contestants capture a constant
+//!    fraction of the best independent set's benefit);
+//! 3. each contestant transmits with probability `p_t ≤ 1/6`
+//!    (Lemma 3.7: it then collides with probability ≤ 1/2);
+//! 4. surviving transmissions move one packet by the balancing rule.
+//!
+//! Theorem 3.8: the combination is
+//! `((1−ε)/(24 c_b), 1 + (1 + T/B)L̄/ε, 1 + 2/ε)`-competitive.
+
+use crate::balancing::{BalancingConfig, BalancingRouter};
+use crate::types::{Metrics, Send};
+use adhoc_geom::Point;
+use adhoc_interference::hexmac::{Candidate, HoneycombMac};
+use adhoc_interference::model::Transmission;
+use adhoc_proximity::unit_disk_graph;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Honeycomb algorithm parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HoneycombConfig {
+    /// Benefit threshold `T` (contestants need benefit > T).
+    pub threshold: f64,
+    /// Buffer height bound `H`.
+    pub capacity: u32,
+    /// Guard-zone parameter `Δ`.
+    pub delta: f64,
+    /// Transmission probability `p_t` (paper: ≤ 1/6).
+    pub p_t: f64,
+}
+
+/// Outcome of one honeycomb step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HoneycombStep {
+    pub contestants: usize,
+    pub selected: usize,
+    pub succeeded: usize,
+}
+
+/// The honeycomb router over a fixed-unit-range node set.
+#[derive(Debug, Clone)]
+pub struct HoneycombRouter {
+    mac: HoneycombMac,
+    router: BalancingRouter,
+    positions: Vec<Point>,
+    /// All unit-range pairs (the candidate links).
+    links: Vec<Transmission>,
+    delta: f64,
+    failed_sends: u64,
+}
+
+impl HoneycombRouter {
+    /// Build the router for nodes at `positions` (unit transmission
+    /// range) and the given destination set.
+    pub fn new(positions: &[Point], dests: &[u32], cfg: HoneycombConfig) -> Self {
+        let sg = unit_disk_graph(positions, 1.0);
+        let links = sg
+            .graph
+            .edges()
+            .map(|(u, v, _)| Transmission::new(u, v))
+            .collect();
+        // Fixed strength ⇒ unit cost per hop; γ = 0 keeps the benefit
+        // rule exactly "maximum height difference" as §3.4 specifies.
+        let bal = BalancingConfig {
+            threshold: cfg.threshold,
+            gamma: 0.0,
+            capacity: cfg.capacity,
+        };
+        HoneycombRouter {
+            mac: HoneycombMac::new(cfg.delta, cfg.threshold, cfg.p_t),
+            router: BalancingRouter::new(positions.len(), dests, bal),
+            positions: positions.to_vec(),
+            links,
+            delta: cfg.delta,
+            failed_sends: 0,
+        }
+    }
+
+    /// The MAC (hexagon tiling) in use.
+    pub fn mac(&self) -> &HoneycombMac {
+        &self.mac
+    }
+
+    /// The inner balancing router.
+    pub fn router(&self) -> &BalancingRouter {
+        &self.router
+    }
+
+    /// Number of candidate unit-range links.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Inject a packet (admission-controlled).
+    pub fn inject(&mut self, v: u32, d: u32) -> bool {
+        self.router.inject(v, d)
+    }
+
+    /// Metrics with collision failures folded in.
+    pub fn metrics(&self) -> Metrics {
+        let mut m = self.router.metrics();
+        m.failed_sends = self.failed_sends;
+        m
+    }
+
+    /// Benefit of the directed pair `s → t`: the best destination and the
+    /// height difference, if positive.
+    fn benefit(&self, s: u32, t: u32) -> Option<(u32, f64)> {
+        let bank = self.router.bank();
+        let mut best: Option<(u32, f64)> = None;
+        for &d in bank.dests() {
+            let diff = bank.height(s, d) as f64 - bank.height(t, d) as f64;
+            if best.map_or(diff > 0.0, |(_, b)| diff > b) {
+                best = Some((d, diff));
+            }
+        }
+        best
+    }
+
+    /// One honeycomb step.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> HoneycombStep {
+        // 1. candidates: for each unit-range link take the direction with
+        //    the larger benefit.
+        let mut candidates: Vec<Candidate> = Vec::new();
+        for link in &self.links {
+            let fwd = self.benefit(link.a, link.b);
+            let rev = self.benefit(link.b, link.a);
+            let cand = match (fwd, rev) {
+                (Some((_, bf)), Some((_, br))) => {
+                    if bf >= br {
+                        Some((link.a, link.b, bf))
+                    } else {
+                        Some((link.b, link.a, br))
+                    }
+                }
+                (Some((_, bf)), None) => Some((link.a, link.b, bf)),
+                (None, Some((_, br))) => Some((link.b, link.a, br)),
+                (None, None) => None,
+            };
+            if let Some((s, t, benefit)) = cand {
+                candidates.push(Candidate {
+                    link: Transmission::new(s, t),
+                    benefit,
+                });
+            }
+        }
+
+        // 2 & 3. contest + probabilistic selection.
+        let outcome = self.mac.contest(&self.positions, &candidates, rng);
+
+        // 4. selected pairs that are mutually independent succeed; the
+        //    rest collide.
+        let sel: Vec<Transmission> = outcome
+            .selected
+            .iter()
+            .map(|&i| candidates[i].link)
+            .collect();
+        let mut sends: Vec<Send> = Vec::new();
+        let mut failed = 0usize;
+        for (k, &i) in outcome.selected.iter().enumerate() {
+            let me = candidates[i].link;
+            let clean = sel.iter().enumerate().all(|(j, other)| {
+                j == k || {
+                    let mut far = true;
+                    for &x in &[me.a, me.b] {
+                        for &y in &[other.a, other.b] {
+                            if self.positions[x as usize].dist(self.positions[y as usize])
+                                <= 1.0 + self.delta
+                            {
+                                far = false;
+                            }
+                        }
+                    }
+                    far
+                }
+            });
+            if !clean {
+                failed += 1;
+                continue;
+            }
+            // best destination for the winning direction
+            if let Some((d, _)) = self.benefit(me.a, me.b) {
+                sends.push(Send {
+                    from: me.a,
+                    to: me.b,
+                    dest: d,
+                    cost: 1.0, // fixed transmission strength: unit energy
+                });
+            }
+        }
+        self.failed_sends += failed as u64;
+        let succeeded = sends.len();
+        self.router.apply(&sends);
+        self.router.tick();
+
+        HoneycombStep {
+            contestants: outcome.contestants.len(),
+            selected: outcome.selected.len(),
+            succeeded,
+        }
+    }
+
+    /// Conservation invariant of the inner router.
+    pub fn conserved(&self) -> bool {
+        self.router.conserved()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand_chacha::ChaCha8Rng;
+
+    fn cfg() -> HoneycombConfig {
+        HoneycombConfig {
+            threshold: 0.5,
+            capacity: 100,
+            delta: 0.5,
+            p_t: 1.0 / 6.0,
+        }
+    }
+
+    /// A chain of nodes 0.8 apart: unit-range links exist only between
+    /// consecutive nodes.
+    fn chain(n: usize) -> Vec<Point> {
+        (0..n).map(|i| Point::new(0.8 * i as f64, 0.0)).collect()
+    }
+
+    #[test]
+    fn links_are_unit_range() {
+        let r = HoneycombRouter::new(&chain(10), &[9], cfg());
+        assert_eq!(r.num_links(), 9);
+    }
+
+    #[test]
+    fn delivers_along_chain() {
+        // Small buffers make the backpressure gradient propagate quickly;
+        // the whole chain shares one hexagon (side 4), so only one link
+        // fires per step with probability p_t — throughput is limited to
+        // ~p_t/hops, which the assertion accounts for.
+        let positions = chain(6);
+        let mut r = HoneycombRouter::new(
+            &positions,
+            &[5],
+            HoneycombConfig {
+                threshold: 0.5,
+                capacity: 8,
+                delta: 0.5,
+                p_t: 1.0 / 6.0,
+            },
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..4000 {
+            r.inject(0, 5);
+            r.step(&mut rng);
+        }
+        let m = r.metrics();
+        assert!(m.delivered > 50, "only {} delivered", m.delivered);
+        assert!(r.conserved());
+    }
+
+    #[test]
+    fn no_transmissions_without_packets() {
+        let mut r = HoneycombRouter::new(&chain(6), &[5], cfg());
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..50 {
+            let out = r.step(&mut rng);
+            assert_eq!(out.contestants, 0);
+            assert_eq!(out.succeeded, 0);
+        }
+        assert_eq!(r.metrics().sends, 0);
+    }
+
+    #[test]
+    fn far_hexagons_transmit_concurrently() {
+        // Two independent 2-chains 100 apart: both can win and, when both
+        // selected, both succeed.
+        let positions = vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.8, 0.0),
+            Point::new(100.0, 0.0),
+            Point::new(100.8, 0.0),
+        ];
+        let mut r = HoneycombRouter::new(&positions, &[1, 3], cfg());
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut both = false;
+        for _ in 0..3000 {
+            r.inject(0, 1);
+            r.inject(2, 3);
+            let out = r.step(&mut rng);
+            if out.succeeded == 2 {
+                both = true;
+            }
+            assert_eq!(out.contestants.min(2), out.contestants, "≤ 1 per hexagon");
+        }
+        assert!(both, "concurrent distant transmissions never happened");
+        assert!(r.conserved());
+    }
+
+    #[test]
+    fn collisions_counted() {
+        // Two adjacent pairs within interference range, in different
+        // hexagons: when both are selected simultaneously they collide.
+        // Hexagon side is 4, so senders 4.2 apart on a row can land in
+        // different cells while endpoints stay within 1+Δ? No — 4.2 > 1.5.
+        // Instead, straddle a cell boundary: sender at x=3.9 and x=4.3
+        // (different hexagons for side-4 pointy-top tiling is not
+        // guaranteed, so find two nearby senders in distinct cells).
+        let g = adhoc_geom::HexGrid::for_guard_zone(0.5);
+        let mut a = Point::new(0.0, 0.0);
+        let mut b = Point::new(0.0, 0.0);
+        'outer: for i in 0..2000 {
+            let x = i as f64 * 0.01;
+            let p = Point::new(x, 0.0);
+            let q = Point::new(x + 1.2, 0.0);
+            if g.hex_of(p) != g.hex_of(q) {
+                a = p;
+                b = q;
+                break 'outer;
+            }
+        }
+        assert_ne!(g.hex_of(a), g.hex_of(b), "failed to find straddling pair");
+        // Receivers 0.9 beyond each sender, pointing away from each other.
+        let positions = vec![
+            a,
+            Point::new(a.x - 0.9, a.y),
+            b,
+            Point::new(b.x + 0.9, b.y),
+        ];
+        let mut r = HoneycombRouter::new(
+            &positions,
+            &[1, 3],
+            HoneycombConfig {
+                threshold: 0.0,
+                capacity: 100,
+                delta: 0.5,
+                p_t: 0.5, // raise p_t to force frequent simultaneous picks
+            },
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        for _ in 0..1000 {
+            r.inject(0, 1);
+            r.inject(2, 3);
+            r.step(&mut rng);
+        }
+        let m = r.metrics();
+        assert!(
+            m.failed_sends > 0,
+            "expected collisions between adjacent-cell contestants"
+        );
+        assert!(m.delivered > 0);
+        assert!(r.conserved());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed: u64| {
+            let mut r = HoneycombRouter::new(&chain(5), &[4], cfg());
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            for _ in 0..300 {
+                r.inject(0, 4);
+                r.step(&mut rng);
+            }
+            r.metrics()
+        };
+        assert_eq!(run(9), run(9));
+    }
+}

@@ -1,0 +1,46 @@
+//! # adhoc-routing
+//!
+//! The routing layer of the SPAA'03 reproduction (paper §3).
+//!
+//! The model is fully adversarial (§3.1): in each synchronous time step an
+//! adversary (or a MAC protocol) provides a set of concurrently usable
+//! edges with per-step costs, and may inject an unbounded number of
+//! packets. Every node `v` keeps one buffer `Q_{v,d}` per destination `d`
+//! with bounded height `H`; packets reaching `Q_{d,d}` are absorbed
+//! (*delivered*); injections into full buffers are dropped.
+//!
+//! * [`buffers::BufferBank`] — the per-(node, destination) height matrix
+//!   with conservation accounting.
+//! * [`balancing::BalancingRouter`] — the `(T, γ)`-balancing algorithm of
+//!   §3.2: across each active edge, send toward the destination with the
+//!   largest height difference minus `γ · c(e)`, whenever that exceeds
+//!   `T`. Theorem 3.1 makes it `(1−ε, O(L̄/ε), O(1/ε))`-competitive.
+//! * [`interference_routing::InterferenceRouter`] — the `(T, γ, I)`
+//!   variant of §3.3: edges activate via the randomized MAC, and sends on
+//!   mutually interfering edges fail (Theorem 3.3).
+//! * [`honeycomb::HoneycombRouter`] — the fixed-transmission-strength
+//!   algorithm of §3.4 (Theorem 3.8).
+//! * [`greedy::GreedyRouter`] — a conventional shortest-path/FIFO baseline
+//!   for the experiment tables.
+
+pub mod anycast;
+pub mod balancing;
+pub mod buffers;
+pub mod geographic;
+pub mod greedy;
+pub mod honeycomb;
+pub mod interference_routing;
+pub mod stale;
+pub mod traced;
+pub mod types;
+
+pub use anycast::{AnycastRouter, Group};
+pub use balancing::{BalancingConfig, BalancingRouter};
+pub use buffers::BufferBank;
+pub use geographic::GeoGreedyRouter;
+pub use greedy::GreedyRouter;
+pub use honeycomb::{HoneycombConfig, HoneycombRouter};
+pub use interference_routing::InterferenceRouter;
+pub use stale::StaleBalancingRouter;
+pub use traced::{LatencyStats, TracedRouter};
+pub use types::{ActiveEdge, Metrics, MoveOutcome, Send};

@@ -1,0 +1,264 @@
+//! Packet-level tracing variant of the balancing router.
+//!
+//! The height-based router treats packets as fungible (all the analysis
+//! needs); for latency studies we additionally track packet identities:
+//! each buffer is a FIFO queue of `(packet id, injection step)`, moves
+//! pick the oldest packet, and deliveries record end-to-end latency.
+//! Heights — and therefore every send decision — are identical to
+//! [`crate::BalancingRouter`] by construction.
+
+use crate::balancing::BalancingConfig;
+use crate::types::{ActiveEdge, Send};
+use std::collections::VecDeque;
+
+/// Latency statistics over delivered packets.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencyStats {
+    pub delivered: u64,
+    pub mean: f64,
+    pub p50: u64,
+    pub p95: u64,
+    pub max: u64,
+}
+
+/// Balancing router with per-packet FIFO queues and latency tracing.
+#[derive(Debug, Clone)]
+pub struct TracedRouter {
+    cfg: BalancingConfig,
+    dests: Vec<u32>,
+    /// FIFO queue per (node, dest-column): (packet id, injected at step).
+    queues: Vec<VecDeque<(u64, u64)>>,
+    now: u64,
+    next_packet: u64,
+    injected: u64,
+    dropped: u64,
+    latencies: Vec<u64>,
+}
+
+impl TracedRouter {
+    /// New traced router.
+    pub fn new(num_nodes: usize, dests: &[u32], cfg: BalancingConfig) -> Self {
+        TracedRouter {
+            cfg,
+            dests: dests.to_vec(),
+            queues: vec![VecDeque::new(); num_nodes * dests.len()],
+            now: 0,
+            next_packet: 0,
+            injected: 0,
+            dropped: 0,
+            latencies: Vec::new(),
+        }
+    }
+
+    fn col_of(&self, d: u32) -> Option<usize> {
+        self.dests.iter().position(|&x| x == d)
+    }
+
+    #[inline]
+    fn idx(&self, v: u32, col: usize) -> usize {
+        v as usize * self.dests.len() + col
+    }
+
+    fn height(&self, v: u32, d: u32) -> u32 {
+        if v == d {
+            return 0;
+        }
+        let col = self.col_of(d).expect("undeclared destination");
+        self.queues[self.idx(v, col)].len() as u32
+    }
+
+    /// Inject a packet; returns its id, or `None` if dropped / instantly
+    /// delivered at its own destination.
+    pub fn inject(&mut self, v: u32, d: u32) -> Option<u64> {
+        if v == d {
+            self.injected += 1;
+            self.latencies.push(0);
+            return None;
+        }
+        let col = self.col_of(d).expect("undeclared destination");
+        let i = self.idx(v, col);
+        if self.queues[i].len() as u32 >= self.cfg.capacity {
+            self.dropped += 1;
+            return None;
+        }
+        let id = self.next_packet;
+        self.next_packet += 1;
+        self.injected += 1;
+        self.queues[i].push_back((id, self.now));
+        Some(id)
+    }
+
+    /// One balancing step (same decision rule as the fungible router).
+    pub fn step(&mut self, active: &[ActiveEdge]) -> Vec<Send> {
+        let mut sends: Vec<Send> = Vec::new();
+        for e in active {
+            for (from, to) in [(e.u, e.v), (e.v, e.u)] {
+                let mut best: Option<(f64, u32)> = None;
+                for &d in &self.dests {
+                    let value = self.height(from, d) as f64
+                        - self.height(to, d) as f64
+                        - e.cost * self.cfg.gamma;
+                    if value > self.cfg.threshold && best.is_none_or(|(bv, _)| value > bv) {
+                        best = Some((value, d));
+                    }
+                }
+                if let Some((_, dest)) = best {
+                    sends.push(Send {
+                        from,
+                        to,
+                        dest,
+                        cost: e.cost,
+                    });
+                }
+            }
+        }
+        for s in &sends {
+            let col = self.col_of(s.dest).unwrap();
+            let fi = self.idx(s.from, col);
+            if self.queues[fi].is_empty() {
+                continue;
+            }
+            if s.to == s.dest {
+                let (_, t0) = self.queues[fi].pop_front().unwrap();
+                self.latencies.push(self.now - t0);
+            } else {
+                let ti = self.idx(s.to, col);
+                if self.queues[ti].len() as u32 >= self.cfg.capacity {
+                    continue;
+                }
+                let pkt = self.queues[fi].pop_front().unwrap();
+                self.queues[ti].push_back(pkt);
+            }
+        }
+        self.now += 1;
+        sends
+    }
+
+    /// Packets currently in flight.
+    pub fn in_flight(&self) -> u64 {
+        self.queues.iter().map(|q| q.len() as u64).sum()
+    }
+
+    /// Conservation: injected = delivered + in flight (drops never enter).
+    pub fn conserved(&self) -> bool {
+        self.injected == self.latencies.len() as u64 + self.in_flight()
+    }
+
+    /// Latency statistics over all deliveries so far.
+    pub fn latency_stats(&self) -> LatencyStats {
+        if self.latencies.is_empty() {
+            return LatencyStats::default();
+        }
+        let mut sorted = self.latencies.clone();
+        sorted.sort_unstable();
+        let n = sorted.len();
+        LatencyStats {
+            delivered: n as u64,
+            mean: sorted.iter().sum::<u64>() as f64 / n as f64,
+            p50: sorted[n / 2],
+            p95: sorted[(n * 95 / 100).min(n - 1)],
+            max: *sorted.last().unwrap(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BalancingConfig {
+        BalancingConfig {
+            threshold: 0.5,
+            gamma: 0.0,
+            capacity: 50,
+        }
+    }
+
+    fn chain() -> Vec<ActiveEdge> {
+        vec![
+            ActiveEdge::new(0, 1, 0.1),
+            ActiveEdge::new(1, 2, 0.1),
+            ActiveEdge::new(2, 3, 0.1),
+        ]
+    }
+
+    #[test]
+    fn latency_reflects_path_length() {
+        let mut r = TracedRouter::new(4, &[3], cfg());
+        let e = chain();
+        for s in 0..400 {
+            if s % 2 == 0 {
+                r.inject(0, 3);
+            }
+            r.step(&e);
+        }
+        let stats = r.latency_stats();
+        assert!(stats.delivered > 50);
+        // 3 hops minimum, plus queueing.
+        assert!(stats.p50 >= 3, "p50 {} below hop count", stats.p50);
+        assert!(stats.p95 >= stats.p50);
+        assert!(stats.max >= stats.p95);
+        assert!(stats.mean >= 3.0);
+        assert!(r.conserved());
+    }
+
+    #[test]
+    fn fifo_order_within_buffer() {
+        // Two packets injected in order must deliver in order (single
+        // path, single destination ⇒ FIFO end-to-end).
+        let mut r = TracedRouter::new(2, &[1], cfg());
+        let e = [ActiveEdge::new(0, 1, 0.0)];
+        let id0 = r.inject(0, 1).unwrap();
+        let id1 = r.inject(0, 1).unwrap();
+        assert!(id0 < id1);
+        r.step(&e);
+        r.step(&e);
+        let stats = r.latency_stats();
+        assert_eq!(stats.delivered, 2);
+        // first packet waited 0 steps, second 1 step
+        assert_eq!(stats.max, 1);
+        assert!((stats.mean - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_decisions_as_fungible_router() {
+        use crate::balancing::BalancingRouter;
+        let mut traced = TracedRouter::new(4, &[3], cfg());
+        let mut fungible = BalancingRouter::new(4, &[3], cfg());
+        let e = chain();
+        for s in 0..300 {
+            if s % 3 == 0 {
+                traced.inject(0, 3);
+                fungible.inject(0, 3);
+            }
+            let st = traced.step(&e);
+            let sf = fungible.step(&e);
+            assert_eq!(st, sf, "step {s}: decisions diverged");
+        }
+        assert_eq!(
+            traced.latency_stats().delivered,
+            fungible.metrics().delivered
+        );
+    }
+
+    #[test]
+    fn drops_and_instant_delivery() {
+        let mut r = TracedRouter::new(2, &[1], BalancingConfig {
+            threshold: 0.0,
+            gamma: 0.0,
+            capacity: 1,
+        });
+        assert!(r.inject(0, 1).is_some());
+        assert!(r.inject(0, 1).is_none()); // dropped, full
+        assert!(r.inject(1, 1).is_none()); // instant delivery
+        assert_eq!(r.latency_stats().delivered, 1);
+        assert!(r.conserved());
+    }
+
+    #[test]
+    fn empty_stats() {
+        let r = TracedRouter::new(2, &[1], cfg());
+        assert_eq!(r.latency_stats(), LatencyStats::default());
+        assert!(r.conserved());
+    }
+}

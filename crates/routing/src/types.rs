@@ -1,0 +1,117 @@
+//! Shared routing-layer types.
+
+use serde::{Deserialize, Serialize};
+
+/// An edge usable in the current time step, with its current cost
+/// (the adversary may change costs every step — §3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ActiveEdge {
+    pub u: u32,
+    pub v: u32,
+    /// Transmission cost `c(e)` for this step (e.g. `|uv|^κ` energy).
+    pub cost: f64,
+}
+
+impl ActiveEdge {
+    pub fn new(u: u32, v: u32, cost: f64) -> Self {
+        ActiveEdge { u, v, cost }
+    }
+}
+
+/// A send decision: move one packet for destination `dest` from `from` to
+/// `to` at cost `cost`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Send {
+    pub from: u32,
+    pub to: u32,
+    pub dest: u32,
+    pub cost: f64,
+}
+
+/// What happened to a moved packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MoveOutcome {
+    /// The packet reached its destination buffer and was absorbed.
+    Delivered,
+    /// The packet now sits in the receiving node's buffer.
+    Buffered,
+}
+
+/// Aggregate routing metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Packets accepted into a source buffer.
+    pub injected: u64,
+    /// Packets the source had to drop (full buffer — admission control).
+    pub dropped: u64,
+    /// Packets absorbed at their destination.
+    pub delivered: u64,
+    /// Individual packet transmissions performed.
+    pub sends: u64,
+    /// Transmissions attempted but destroyed by interference.
+    pub failed_sends: u64,
+    /// Total cost over all successful transmissions.
+    pub total_cost: f64,
+    /// Time steps executed.
+    pub steps: u64,
+}
+
+impl Metrics {
+    /// Average cost per delivered packet (`None` before any delivery).
+    pub fn avg_cost_per_delivery(&self) -> Option<f64> {
+        (self.delivered > 0).then(|| self.total_cost / self.delivered as f64)
+    }
+
+    /// Throughput = deliveries per step (`None` before any step).
+    pub fn throughput(&self) -> Option<f64> {
+        (self.steps > 0).then(|| self.delivered as f64 / self.steps as f64)
+    }
+
+    /// Fraction of offered packets that were accepted.
+    pub fn admission_rate(&self) -> Option<f64> {
+        let offered = self.injected + self.dropped;
+        (offered > 0).then(|| self.injected as f64 / offered as f64)
+    }
+
+    /// Average hops per delivered packet.
+    pub fn avg_path_length(&self) -> Option<f64> {
+        (self.delivered > 0).then(|| self.sends as f64 / self.delivered as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_ratios() {
+        let m = Metrics {
+            injected: 90,
+            dropped: 10,
+            delivered: 45,
+            sends: 180,
+            failed_sends: 5,
+            total_cost: 90.0,
+            steps: 100,
+        };
+        assert_eq!(m.avg_cost_per_delivery(), Some(2.0));
+        assert_eq!(m.throughput(), Some(0.45));
+        assert_eq!(m.admission_rate(), Some(0.9));
+        assert_eq!(m.avg_path_length(), Some(4.0));
+    }
+
+    #[test]
+    fn metrics_empty_guards() {
+        let m = Metrics::default();
+        assert_eq!(m.avg_cost_per_delivery(), None);
+        assert_eq!(m.throughput(), None);
+        assert_eq!(m.admission_rate(), None);
+        assert_eq!(m.avg_path_length(), None);
+    }
+
+    #[test]
+    fn active_edge_construction() {
+        let e = ActiveEdge::new(1, 2, 0.5);
+        assert_eq!((e.u, e.v, e.cost), (1, 2, 0.5));
+    }
+}

@@ -1,0 +1,41 @@
+//! Paper-style experiment report.
+//!
+//! ```text
+//! report            # run every experiment at full scale
+//! report --quick    # small sweeps, for smoke testing
+//! report e2 e4      # only the named experiments
+//! ```
+
+use adhoc_sim::experiments::{run_by_name, ALL};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick" || a == "-q");
+    let names: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with('-'))
+        .map(|s| s.as_str())
+        .collect();
+    let names: Vec<&str> = if names.is_empty() {
+        ALL.to_vec()
+    } else {
+        names
+    };
+
+    println!("# adhoc-net experiment report");
+    println!(
+        "# reproduction of: Jia, Rajaraman, Scheideler — \"On Local Algorithms for Topology Control and Routing in Ad Hoc Networks\" (SPAA 2003)"
+    );
+    println!("# mode: {}\n", if quick { "quick" } else { "full" });
+
+    for name in names {
+        let start = std::time::Instant::now();
+        match run_by_name(name, quick) {
+            Some(table) => {
+                print!("{}", table.render());
+                println!("({name} computed in {:.1?})\n", start.elapsed());
+            }
+            None => eprintln!("unknown experiment id: {name} (known: {ALL:?})"),
+        }
+    }
+}

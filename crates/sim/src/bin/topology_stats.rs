@@ -1,0 +1,97 @@
+//! Scenario-driven topology inspector.
+//!
+//! ```text
+//! topology_stats                      # built-in default scenario
+//! topology_stats scenario.json       # load a ScenarioConfig
+//! topology_stats scenario.json out/  # also render SVGs into out/
+//! ```
+//!
+//! Prints the full §2 dashboard for one scenario: G* and 𝒩 sizes, degree
+//! bound check, energy/distance stretch, interference numbers, TDMA frame
+//! and protocol message counts — everything a deployment engineer would
+//! ask before trusting the topology layer.
+
+use adhoc_core::protocol::run_local_protocol_with_stats;
+use adhoc_core::{energy_stretch, verify_lemma_2_1, ThetaAlg};
+use adhoc_interference::{interference_number, tdma_schedule, InterferenceModel};
+use adhoc_proximity::unit_disk_graph;
+use adhoc_sim::render::{render_overlay_svg, render_svg, RenderStyle};
+use adhoc_sim::ScenarioConfig;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let cfg: ScenarioConfig = match args.next() {
+        Some(path) => {
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+            serde_json::from_str(&text).unwrap_or_else(|e| panic!("bad scenario {path}: {e}"))
+        }
+        None => ScenarioConfig::uniform(400, 42),
+    };
+    let render_dir = args.next();
+
+    println!("# scenario");
+    println!("{}", serde_json::to_string_pretty(&cfg).unwrap());
+
+    let points = cfg.sample_points();
+    let range = cfg.effective_range();
+    let gstar = unit_disk_graph(&points, range);
+    let alg = ThetaAlg::new(cfg.theta, range);
+    let topo = alg.build(&points);
+    let model = InterferenceModel::new(cfg.delta);
+
+    println!("\n# transmission graph G*");
+    println!("nodes: {}", gstar.len());
+    println!("edges: {}", gstar.graph.num_edges());
+    println!("max degree: {}", gstar.graph.max_degree());
+    println!("connected: {}", adhoc_graph::is_connected(&gstar.graph));
+
+    println!("\n# ΘALG topology 𝒩 (θ = {:.4})", cfg.theta);
+    let rep = verify_lemma_2_1(&topo);
+    println!("edges: {}", topo.spatial.graph.num_edges());
+    println!(
+        "max degree: {} (Lemma 2.1 bound {}), avg {:.2}",
+        rep.max_degree, rep.bound, rep.avg_degree
+    );
+    println!("connected: {}", rep.connected);
+
+    let st = energy_stretch(&topo.spatial, &gstar, cfg.kappa);
+    println!("\n# stretch (κ = {})", cfg.kappa);
+    println!("energy-stretch: max {:.3}, avg {:.3}", st.max, st.avg);
+    let ds = adhoc_core::distance_stretch(&topo.spatial, &gstar);
+    println!("distance-stretch: max {:.3}, avg {:.3}", ds.max, ds.avg);
+
+    println!("\n# interference (Δ = {})", cfg.delta);
+    let i_n = interference_number(&topo.spatial, model);
+    println!("I(𝒩): {}  (log₂ n = {:.1})", i_n, (cfg.n as f64).log2());
+    let frame = tdma_schedule(&topo.spatial, model).frame_length;
+    println!("TDMA frame: {frame} slots (bound I+1 = {})", i_n + 1);
+
+    let (_, stats) = run_local_protocol_with_stats(&points, alg.sectors(), range);
+    println!("\n# construction cost (3 local rounds)");
+    println!(
+        "messages: {} position + {} neighborhood + {} connection = {}",
+        stats.position_broadcasts,
+        stats.neighborhood_messages,
+        stats.connection_messages,
+        stats.total_messages()
+    );
+
+    if let Some(dir) = render_dir {
+        std::fs::create_dir_all(&dir).expect("create render dir");
+        let style = RenderStyle::default();
+        std::fs::write(format!("{dir}/gstar.svg"), render_svg(&gstar, &style))
+            .expect("write gstar.svg");
+        std::fs::write(
+            format!("{dir}/theta.svg"),
+            render_svg(&topo.spatial, &style),
+        )
+        .expect("write theta.svg");
+        std::fs::write(
+            format!("{dir}/overlay.svg"),
+            render_overlay_svg(&gstar, &topo.spatial, 800.0),
+        )
+        .expect("write overlay.svg");
+        println!("\nrendered SVGs into {dir}/");
+    }
+}

@@ -1,0 +1,160 @@
+//! **E10 — Lemmas 2.3–2.6 and Figure 5**: Monte-Carlo verification of the
+//! paper's geometric foundations.
+//!
+//! Each lemma checker is evaluated on a large batch of random
+//! configurations satisfying its preconditions; the "holds" fraction must
+//! be 1.0. The hexagon tiling (Figure 5) is checked for the partition
+//! property (center round-trips) at the paper's cell dimensions.
+
+use super::table::{f3, Table};
+use adhoc_geom::lemmas::{lemma_2_3, lemma_2_3_c_min, lemma_2_4, lemma_2_5, lemma_2_6};
+use adhoc_geom::{HexCoord, HexGrid, Point};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// Run E10 and return the table.
+pub fn run(quick: bool) -> Table {
+    let samples = if quick { 20_000 } else { 200_000 };
+    let mut rng = ChaCha8Rng::seed_from_u64(1010);
+
+    let mut table = Table::new(
+        "E10 (Lemmas 2.3–2.6, Fig. 5): Monte-Carlo verification of the geometric foundations",
+        &["claim", "configs tested", "holds fraction"],
+    );
+
+    // Lemma 2.3
+    {
+        let mut tested = 0usize;
+        let mut held = 0usize;
+        for _ in 0..samples {
+            let gamma = rng.gen_range(0.001..(std::f64::consts::FRAC_PI_3 - 0.001));
+            let la = rng.gen_range(0.1..10.0);
+            let lb = la * rng.gen_range(1.0..10.0);
+            let a = Point::new(la, 0.0);
+            let b = Point::new(lb * gamma.cos(), lb * gamma.sin());
+            let c = lemma_2_3_c_min(gamma) * rng.gen_range(1.0..5.0);
+            if let Some(chk) = lemma_2_3(a, b, Point::new(0.0, 0.0), c) {
+                tested += 1;
+                held += chk.holds() as usize;
+            }
+        }
+        table.push(vec![
+            "Lemma 2.3".into(),
+            tested.to_string(),
+            f3(held as f64 / tested.max(1) as f64),
+        ]);
+    }
+
+    // Lemma 2.4
+    {
+        let mut tested = 0usize;
+        let mut held = 0usize;
+        for _ in 0..samples {
+            let alpha = rng.gen_range(0.001..(std::f64::consts::FRAC_PI_6 - 0.001));
+            let ab = rng.gen_range(0.5..10.0);
+            let ac = ab * rng.gen_range(0.01..1.0);
+            let a = Point::new(0.0, 0.0);
+            let b = Point::new(ab, 0.0);
+            let c = Point::new(ac * alpha.cos(), ac * alpha.sin());
+            if let Some(chk) = lemma_2_4(a, b, c) {
+                tested += 1;
+                held += chk.holds() as usize;
+            }
+        }
+        table.push(vec![
+            "Lemma 2.4".into(),
+            tested.to_string(),
+            f3(held as f64 / tested.max(1) as f64),
+        ]);
+    }
+
+    // Lemma 2.5
+    {
+        let mut tested = 0usize;
+        let mut held = 0usize;
+        for _ in 0..samples / 4 {
+            let theta = rng.gen_range(0.05..std::f64::consts::FRAC_PI_3);
+            let steps = rng.gen_range(2..12usize);
+            let shrink: f64 = rng.gen_range(0.5..1.0);
+            let gapfrac: f64 = rng.gen_range(0.0..1.0);
+            let chain: Vec<Point> = (0..steps)
+                .map(|i| {
+                    let r = shrink.powi(i as i32);
+                    let ang = i as f64 * gapfrac * theta;
+                    Point::new(r * ang.cos(), r * ang.sin())
+                })
+                .collect();
+            if let Some(chk) = lemma_2_5(Point::new(0.0, 0.0), &chain, theta) {
+                tested += 1;
+                held += chk.holds() as usize;
+            }
+        }
+        table.push(vec![
+            "Lemma 2.5".into(),
+            tested.to_string(),
+            f3(held as f64 / tested.max(1) as f64),
+        ]);
+    }
+
+    // Lemma 2.6
+    {
+        let mut tested = 0usize;
+        let mut held = 0usize;
+        for _ in 0..samples {
+            let ang = rng.gen_range(0.001..(std::f64::consts::PI / 12.0 - 0.001));
+            let ab = rng.gen_range(1.0..5.0);
+            let ac = ab * rng.gen_range(0.9..1.0);
+            let a = Point::new(0.0, 0.0);
+            let b = Point::new(ab, 0.0);
+            let c = Point::new(ac * ang.cos(), ac * ang.sin());
+            if let Some(chk) = lemma_2_6(a, b, c) {
+                tested += 1;
+                held += chk.holds() as usize;
+            }
+        }
+        table.push(vec![
+            "Lemma 2.6".into(),
+            tested.to_string(),
+            f3(held as f64 / tested.max(1) as f64),
+        ]);
+    }
+
+    // Figure 5: hexagon tiling partition property.
+    {
+        let grid = HexGrid::for_guard_zone(0.5); // side 3 + 2Δ = 4
+        let mut held = 0usize;
+        let span = 20i32;
+        let mut tested = 0usize;
+        for q in -span..=span {
+            for r in -span..=span {
+                let h = HexCoord::new(q, r);
+                tested += 1;
+                held += (grid.hex_of(grid.center(h)) == h) as usize;
+            }
+        }
+        table.push(vec![
+            "Figure 5 tiling (center round-trip)".into(),
+            tested.to_string(),
+            f3(held as f64 / tested as f64),
+        ]);
+    }
+
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_all_claims_hold_fully() {
+        let t = run(true);
+        assert_eq!(t.rows.len(), 5);
+        for row in &t.rows {
+            let tested: usize = row[1].parse().unwrap();
+            assert!(tested > 100, "too few configs for {row:?}");
+            let frac: f64 = row[2].parse().unwrap();
+            assert_eq!(frac, 1.0, "claim failed on some configs: {row:?}");
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! **E14 — model validation**: §2.4 adopts the pairwise *protocol*
+//! interference model as "a simplified version of the *physical* model".
+//! This experiment quantifies the simplification: across random
+//! simultaneous transmission sets on the ΘALG topology, how often do the
+//! protocol model (guard zone Δ) and the SINR physical model disagree —
+//! and in which direction?
+//!
+//! The load-bearing column is the *optimism rate*: transmissions the
+//! protocol model admits that the physical model kills. A suitable Δ
+//! keeps it near zero, justifying the paper's abstraction.
+
+use super::table::{f3, Table};
+use adhoc_core::ThetaAlg;
+use adhoc_geom::distributions::NodeDistribution;
+use adhoc_interference::model::Transmission;
+use adhoc_interference::{InterferenceModel, PowerPolicy, SinrModel};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use std::f64::consts::PI;
+
+/// Run E14 and return the table.
+pub fn run(quick: bool) -> Table {
+    let n = if quick { 100 } else { 250 };
+    let batches_count = if quick { 400 } else { 2000 };
+    let deltas: &[f64] = if quick {
+        &[0.25, 1.0, 2.0]
+    } else {
+        &[0.25, 0.5, 1.0, 2.0, 4.0]
+    };
+
+    let mut table = Table::new(
+        "E14 (model validation, §2.4): protocol (guard-zone Δ) vs physical (SINR) interference model",
+        &[
+            "Δ", "batches", "agreement", "optimism (danger)", "conservatism",
+        ],
+    );
+
+    let mut rng = ChaCha8Rng::seed_from_u64(14_000);
+    let points = NodeDistribution::unit_square()
+        .sample(n, &mut rng)
+        .expect("sampling");
+    let range = adhoc_geom::default_max_range(n);
+    let topo = ThetaAlg::new(PI / 3.0, range).build(&points);
+    let edges: Vec<Transmission> = topo
+        .spatial
+        .graph
+        .edges()
+        .map(|(u, v, _)| Transmission::new(u, v))
+        .collect();
+
+    // Random batches of 2–5 concurrent 𝒩 transmissions.
+    let mut batches: Vec<Vec<Transmission>> = Vec::with_capacity(batches_count);
+    for _ in 0..batches_count {
+        let k = rng.gen_range(2..=5usize);
+        let mut batch = Vec::with_capacity(k);
+        for _ in 0..k {
+            batch.push(edges[rng.gen_range(0..edges.len())]);
+        }
+        batch.dedup();
+        batches.push(batch);
+    }
+
+    let sinr = SinrModel {
+        kappa: 3.0,
+        beta: 1.2,
+        noise: 1e-7,
+        power: PowerPolicy::MinimumPlusMargin(4.0),
+    };
+
+    for &delta in deltas {
+        let report =
+            sinr.disagreement_with_protocol(&points, &batches, InterferenceModel::new(delta));
+        table.push(vec![
+            format!("{delta}"),
+            report.total.to_string(),
+            f3(report.agreement_rate()),
+            f3(report.optimism_rate()),
+            f3(report.protocol_conservative as f64 / report.total.max(1) as f64),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_guard_zone_monotonicity() {
+        let t = run(true);
+        assert_eq!(t.rows.len(), 3);
+        let optimism: Vec<f64> = t.rows.iter().map(|r| r[3].parse().unwrap()).collect();
+        let conservatism: Vec<f64> = t.rows.iter().map(|r| r[4].parse().unwrap()).collect();
+        // Bigger guard zones can only make the protocol model more
+        // cautious: optimism shrinks, conservatism grows.
+        assert!(
+            optimism.windows(2).all(|w| w[1] <= w[0] + 0.02),
+            "optimism not decreasing in Δ: {optimism:?}"
+        );
+        assert!(
+            conservatism.windows(2).all(|w| w[1] >= w[0] - 0.02),
+            "conservatism not increasing in Δ: {conservatism:?}"
+        );
+        // At the largest Δ the dangerous direction is nearly gone.
+        assert!(
+            *optimism.last().unwrap() < 0.08,
+            "guard zone too leaky: {optimism:?}"
+        );
+    }
+}

@@ -1,0 +1,166 @@
+//! **E15 — extensions**: packet-level latency of the balancing algorithm
+//! (via the tracing router) and the anycast generalization (§1.2 cites
+//! the Awerbuch–Brinkmann–Scheideler anycasting result the paper's
+//! framework extends).
+//!
+//! Table 1 half: latency percentiles of (T,γ)-balancing vs the greedy
+//! shortest-path baseline on the same topology and workload.
+//! Table 2 half: unicast-to-one-member vs anycast-to-the-group — anycast
+//! must cut hops per delivery.
+
+use super::table::{f2, Table};
+use adhoc_core::ThetaAlg;
+use adhoc_geom::distributions::NodeDistribution;
+use adhoc_routing::{
+    ActiveEdge, AnycastRouter, BalancingConfig, BalancingRouter, GreedyRouter, TracedRouter,
+};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use std::f64::consts::PI;
+
+/// Run E15 and return the table.
+pub fn run(quick: bool) -> Table {
+    let n = if quick { 80 } else { 150 };
+    let steps = if quick { 3000 } else { 10_000 };
+
+    let mut table = Table::new(
+        "E15 (extensions): delivery latency percentiles and the anycast generalization",
+        &["measurement", "value"],
+    );
+
+    let mut rng = ChaCha8Rng::seed_from_u64(15_000);
+    let points = NodeDistribution::unit_square()
+        .sample(n, &mut rng)
+        .expect("sampling");
+    let range = adhoc_geom::default_max_range(n);
+    let topo = ThetaAlg::new(PI / 3.0, range).build(&points);
+    let edges: Vec<ActiveEdge> = topo
+        .spatial
+        .graph
+        .edges()
+        .map(|(u, v, w)| ActiveEdge::new(u, v, w * w))
+        .collect();
+    let cfg = BalancingConfig {
+        threshold: 0.5,
+        gamma: 0.5,
+        capacity: 40,
+    };
+
+    // ---- latency: traced balancing vs greedy --------------------------
+    {
+        let mut traced = TracedRouter::new(n, &[0], cfg);
+        let mut greedy = GreedyRouter::new(&topo.spatial.energy_graph(2.0), &[0], cfg.capacity);
+        let mut inj_rng = ChaCha8Rng::seed_from_u64(15_001);
+        for _ in 0..steps {
+            if inj_rng.gen_bool(0.3) {
+                let src = inj_rng.gen_range(1..n as u32);
+                traced.inject(src, 0);
+                greedy.inject(src, 0);
+            }
+            traced.step(&edges);
+            greedy.step(&edges);
+        }
+        let stats = traced.latency_stats();
+        table.push(vec![
+            "balancing deliveries".into(),
+            stats.delivered.to_string(),
+        ]);
+        table.push(vec!["balancing latency p50 (steps)".into(), stats.p50.to_string()]);
+        table.push(vec!["balancing latency p95 (steps)".into(), stats.p95.to_string()]);
+        table.push(vec!["balancing latency mean".into(), f2(stats.mean)]);
+        let gm = greedy.metrics();
+        table.push(vec!["greedy deliveries".into(), gm.delivered.to_string()]);
+        table.push(vec![
+            "greedy avg hops".into(),
+            f2(gm.avg_path_length().unwrap_or(0.0)),
+        ]);
+    }
+
+    // ---- anycast vs unicast -------------------------------------------
+    {
+        // Group: 5 nodes nearest the square's corners + center.
+        let anchors = [
+            adhoc_geom::Point::new(0.05, 0.05),
+            adhoc_geom::Point::new(0.95, 0.05),
+            adhoc_geom::Point::new(0.05, 0.95),
+            adhoc_geom::Point::new(0.95, 0.95),
+            adhoc_geom::Point::new(0.5, 0.5),
+        ];
+        let mut members: Vec<u32> = anchors
+            .iter()
+            .map(|a| {
+                (0..n as u32)
+                    .min_by(|&x, &y| {
+                        points[x as usize]
+                            .dist(*a)
+                            .partial_cmp(&points[y as usize].dist(*a))
+                            .unwrap()
+                    })
+                    .unwrap()
+            })
+            .collect();
+        members.sort_unstable();
+        members.dedup();
+
+        let mut any = AnycastRouter::new(n, &[members.clone()], cfg.threshold, cfg.gamma, cfg.capacity);
+        let mut uni = BalancingRouter::new(n, &[members[0]], cfg);
+        let mut inj_rng = ChaCha8Rng::seed_from_u64(15_002);
+        for _ in 0..steps {
+            if inj_rng.gen_bool(0.3) {
+                let src = inj_rng.gen_range(0..n as u32);
+                if !members.contains(&src) {
+                    any.inject(src, 0);
+                    uni.inject(src, members[0]);
+                }
+            }
+            any.step(&edges);
+            uni.step(&edges);
+        }
+        let (ma, mu) = (any.metrics(), uni.metrics());
+        table.push(vec![
+            format!("anycast group size"),
+            members.len().to_string(),
+        ]);
+        table.push(vec![
+            "anycast hops/delivery".into(),
+            f2(ma.avg_path_length().unwrap_or(0.0)),
+        ]);
+        table.push(vec![
+            "unicast hops/delivery".into(),
+            f2(mu.avg_path_length().unwrap_or(0.0)),
+        ]);
+        table.push(vec![
+            "anycast/unicast delivery ratio".into(),
+            f2(ma.delivered as f64 / mu.delivered.max(1) as f64),
+        ]);
+    }
+
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get<'a>(t: &'a Table, key: &str) -> &'a str {
+        &t.rows.iter().find(|r| r[0] == key).expect(key)[1]
+    }
+
+    #[test]
+    fn quick_run_latency_and_anycast_shapes() {
+        let t = run(true);
+        let delivered: u64 = get(&t, "balancing deliveries").parse().unwrap();
+        assert!(delivered > 50);
+        let p50: u64 = get(&t, "balancing latency p50 (steps)").parse().unwrap();
+        let p95: u64 = get(&t, "balancing latency p95 (steps)").parse().unwrap();
+        assert!(p50 >= 1 && p95 >= p50);
+        // anycast reaches the group in fewer hops than unicast to one
+        // fixed member.
+        let ha: f64 = get(&t, "anycast hops/delivery").parse().unwrap();
+        let hu: f64 = get(&t, "unicast hops/delivery").parse().unwrap();
+        assert!(ha > 0.0 && hu > 0.0);
+        assert!(ha <= hu, "anycast used more hops ({ha}) than unicast ({hu})");
+        let ratio: f64 = get(&t, "anycast/unicast delivery ratio").parse().unwrap();
+        assert!(ratio >= 0.95, "anycast delivered fewer packets: {ratio}");
+    }
+}

@@ -1,0 +1,70 @@
+//! **E19 — Theorem 2.8, measured end to end**: emulate complete `G*`
+//! schedules on `𝒩` via θ-path replacement + TDMA and report the realized
+//! slowdown against the theorem's `O(tI + n²)` bound.
+
+use super::table::{f2, Table};
+use crate::emulation::emulate_on_theta;
+use crate::schedule::build_schedule;
+use crate::workloads::Workload;
+use adhoc_core::ThetaAlg;
+use adhoc_geom::distributions::NodeDistribution;
+use adhoc_interference::{interference_number, InterferenceModel};
+use adhoc_proximity::unit_disk_graph;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::f64::consts::PI;
+
+/// Run E19 and return the table.
+pub fn run(quick: bool) -> Table {
+    let sizes: &[usize] = if quick { &[80, 160] } else { &[80, 160, 320, 640] };
+
+    let mut table = Table::new(
+        "E19 (Theorem 2.8 end-to-end): G*-schedule emulation on 𝒩 — slowdown vs the O(I) bound",
+        &[
+            "n", "I(𝒩)", "t (G* steps)", "emulated steps", "slowdown", "slowdown/I", "frame",
+        ],
+    );
+
+    for &n in sizes {
+        let mut rng = ChaCha8Rng::seed_from_u64(19_000 + n as u64);
+        let points = NodeDistribution::unit_square()
+            .sample(n, &mut rng)
+            .expect("sampling");
+        let range = adhoc_geom::default_max_range(n);
+        let gstar = unit_disk_graph(&points, range);
+        let topo = ThetaAlg::new(PI / 3.0, range).build(&points);
+        let model = InterferenceModel::new(0.5);
+        let i = interference_number(&topo.spatial, model);
+
+        let pairs = Workload::RandomPairs.pairs(n, n / 2, &mut rng);
+        let schedule = build_schedule(&gstar, 2.0, &pairs);
+        let report = emulate_on_theta(&topo, &schedule, model);
+
+        table.push(vec![
+            n.to_string(),
+            i.to_string(),
+            report.original_steps.to_string(),
+            report.emulated_steps.to_string(),
+            f2(report.slowdown()),
+            format!("{:.3}", report.slowdown() / i.max(1) as f64),
+            report.frame_length.to_string(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_slowdown_is_o_of_i() {
+        let t = run(true);
+        assert_eq!(t.rows.len(), 2);
+        for row in &t.rows {
+            let ratio: f64 = row[5].parse().unwrap();
+            // slowdown / I must be O(1); empirically well below 1.
+            assert!(ratio < 2.0, "slowdown/I = {ratio}: {row:?}");
+        }
+    }
+}

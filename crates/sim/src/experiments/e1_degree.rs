@@ -1,0 +1,86 @@
+//! **E1 — Lemma 2.1**: the ΘALG topology `𝒩` is connected and every node
+//! has degree at most `4π/θ`, for any node distribution.
+//!
+//! Also reports the kNN baseline, demonstrating the paper's intro claim
+//! that "connecting to the k closest neighbors" guarantees neither
+//! connectivity nor bounded degree.
+
+use super::table::{f2, theta_label, Table};
+use adhoc_core::{verify_lemma_2_1, ThetaAlg};
+use adhoc_geom::distributions::NodeDistribution;
+use adhoc_graph::is_connected;
+use adhoc_proximity::{knn_graph, unit_disk_graph};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::f64::consts::PI;
+
+/// Run E1 and return the table.
+pub fn run(quick: bool) -> Table {
+    let sizes: &[usize] = if quick { &[100, 200] } else { &[100, 400, 1600] };
+    let thetas: &[f64] = if quick {
+        &[PI / 3.0, PI / 6.0]
+    } else {
+        &[PI / 3.0, PI / 4.0, PI / 6.0, PI / 9.0]
+    };
+    let dists = [
+        NodeDistribution::unit_square(),
+        NodeDistribution::Clustered {
+            clusters: 6,
+            sigma: 0.03,
+        },
+        NodeDistribution::GridJitter { jitter: 0.3 },
+    ];
+
+    let mut table = Table::new(
+        "E1 (Lemma 2.1): degree bound 4π/θ and connectivity of 𝒩 (kNN shown as the failing baseline)",
+        &[
+            "dist", "n", "θ", "bound", "maxdeg(𝒩)", "avgdeg(𝒩)", "conn(G*)", "conn(𝒩)",
+            "maxdeg(kNN-6)", "conn(kNN-6)",
+        ],
+    );
+
+    for dist in &dists {
+        for &n in sizes {
+            let mut rng = ChaCha8Rng::seed_from_u64(1000 + n as u64);
+            let points = dist.sample(n, &mut rng).expect("sampling");
+            let range = adhoc_geom::default_max_range(n).max(0.25);
+            let gstar_connected = is_connected(&unit_disk_graph(&points, range).graph);
+            for &theta in thetas {
+                let topo = ThetaAlg::new(theta, range).build(&points);
+                let rep = verify_lemma_2_1(&topo);
+                let knn = knn_graph(&points, 6, range);
+                table.push(vec![
+                    dist.label().to_string(),
+                    n.to_string(),
+                    theta_label(theta),
+                    rep.bound.to_string(),
+                    rep.max_degree.to_string(),
+                    f2(rep.avg_degree),
+                    gstar_connected.to_string(),
+                    rep.connected.to_string(),
+                    knn.graph.max_degree().to_string(),
+                    is_connected(&knn.graph).to_string(),
+                ]);
+            }
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_bound_never_violated() {
+        let t = run(true);
+        assert!(!t.rows.is_empty());
+        for row in &t.rows {
+            let bound: usize = row[3].parse().unwrap();
+            let maxdeg: usize = row[4].parse().unwrap();
+            assert!(maxdeg <= bound, "row {row:?}");
+            // Lemma 2.1: 𝒩 is connected whenever G* is.
+            assert_eq!(row[6], row[7], "conn(𝒩) must track conn(G*): {row:?}");
+        }
+    }
+}

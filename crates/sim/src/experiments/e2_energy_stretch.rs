@@ -1,0 +1,98 @@
+//! **E2 — Theorem 2.2**: `𝒩` has O(1) energy-stretch for *any*
+//! distribution of nodes and any path-loss exponent `κ ≥ 2`.
+//!
+//! Comparison columns: the Yao graph `𝒩₁` (spanner, unbounded degree),
+//! the Gabriel graph (energy-stretch exactly 1 by definition, unbounded
+//! degree) and the Euclidean MST (bounded degree, *unbounded* stretch) —
+//! `𝒩` is the only structure with both bounded degree and O(1) stretch.
+
+use super::table::{f2, f3, theta_label, Table};
+use adhoc_core::stretch::sampled_energy_stretch;
+use adhoc_core::ThetaAlg;
+use adhoc_geom::distributions::NodeDistribution;
+use adhoc_proximity::{euclidean_mst, unit_disk_graph, yao_graph};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::f64::consts::PI;
+
+/// Run E2 and return the table.
+pub fn run(quick: bool) -> Table {
+    let sizes: &[usize] = if quick { &[150] } else { &[200, 400] };
+    let kappas: &[f64] = if quick { &[2.0] } else { &[2.0, 3.0, 4.0] };
+    let theta = PI / 3.0;
+    let dists = [
+        NodeDistribution::unit_square(),
+        NodeDistribution::Clustered {
+            clusters: 6,
+            sigma: 0.03,
+        },
+        NodeDistribution::GridJitter { jitter: 0.3 },
+        NodeDistribution::Ring { radius: 0.45 },
+    ];
+
+    let mut table = Table::new(
+        "E2 (Theorem 2.2): max energy-stretch vs G* — 𝒩 stays O(1); Gabriel = 1.0 reference; MST unbounded",
+        &[
+            "dist", "n", "κ", "θ", "stretch(𝒩)", "stretch(𝒩₁/Yao)", "stretch(Gabriel)",
+            "stretch(MST)", "maxdeg(𝒩)", "maxdeg(Gabriel)",
+        ],
+    );
+
+    for dist in &dists {
+        for &n in sizes {
+            let mut rng = ChaCha8Rng::seed_from_u64(2000 + n as u64);
+            let points = dist.sample(n, &mut rng).expect("sampling");
+            // Full range so G* is connected on every distribution
+            // (Theorem 2.2 is about stretch, not range-limited
+            // connectivity).
+            let range = 10.0;
+            let gstar = unit_disk_graph(&points, range);
+            let alg = ThetaAlg::new(theta, range);
+            let topo = alg.build(&points);
+            let yao = yao_graph(&points, alg.sectors(), range);
+            let gabriel = adhoc_proximity::gabriel_graph(&points, range);
+            let mst = euclidean_mst(&points, range);
+            let sources: Vec<u32> = (0..n as u32).step_by((n / 40).max(1)).collect();
+            for &kappa in kappas {
+                let st_n = sampled_energy_stretch(&topo.spatial, &gstar, kappa, &sources);
+                let st_yao = sampled_energy_stretch(&yao, &gstar, kappa, &sources);
+                let st_gab = sampled_energy_stretch(&gabriel, &gstar, kappa, &sources);
+                let st_mst = sampled_energy_stretch(&mst, &gstar, kappa, &sources);
+                table.push(vec![
+                    dist.label().to_string(),
+                    n.to_string(),
+                    format!("{kappa:.0}"),
+                    theta_label(theta),
+                    f3(st_n.max),
+                    f3(st_yao.max),
+                    f3(st_gab.max),
+                    f2(st_mst.max),
+                    topo.spatial.graph.max_degree().to_string(),
+                    gabriel.graph.max_degree().to_string(),
+                ]);
+            }
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_stretch_shapes() {
+        let t = run(true);
+        assert!(!t.rows.is_empty());
+        for row in &t.rows {
+            let st_n: f64 = row[4].parse().unwrap();
+            let st_gab: f64 = row[6].parse().unwrap();
+            let st_mst: f64 = row[7].parse().unwrap();
+            // Shape of the claim: 𝒩 constant (small), Gabriel = 1, and
+            // MST is the worst of the bunch.
+            assert!((1.0..8.0).contains(&st_n), "stretch(𝒩) = {st_n}");
+            assert!((st_gab - 1.0).abs() < 1e-6, "Gabriel stretch {st_gab}");
+            assert!(st_mst >= st_n - 1e-9, "MST should not beat 𝒩: {row:?}");
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! **E3 — Theorem 2.7**: on civilized (λ-precision) graphs, `𝒩` has O(1)
+//! *distance*-stretch for sufficiently small θ.
+//!
+//! The sweep varies λ and θ; the distance-stretch column must stay a
+//! small constant as `n` grows, and shrink (toward the Yao graph's) as θ
+//! decreases.
+
+use super::table::{f3, theta_label, Table};
+use adhoc_core::stretch::sampled_distance_stretch;
+use adhoc_core::ThetaAlg;
+use adhoc_geom::distributions::NodeDistribution;
+use adhoc_proximity::{unit_disk_graph, yao_graph};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::f64::consts::PI;
+
+/// Run E3 and return the table.
+pub fn run(quick: bool) -> Table {
+    let configs: &[(usize, f64)] = if quick {
+        &[(150, 0.05)] // (n, λ)
+    } else {
+        &[(150, 0.05), (300, 0.035), (600, 0.025)]
+    };
+    let thetas: &[f64] = if quick {
+        &[PI / 3.0, PI / 6.0]
+    } else {
+        &[PI / 3.0, PI / 4.0, PI / 6.0, PI / 9.0]
+    };
+
+    let mut table = Table::new(
+        "E3 (Theorem 2.7): max distance-stretch of 𝒩 on civilized λ-precision graphs",
+        &[
+            "n", "λ", "θ", "dist-stretch(𝒩)", "dist-stretch(𝒩₁/Yao)", "maxdeg(𝒩)",
+        ],
+    );
+
+    for &(n, lambda) in configs {
+        let mut rng = ChaCha8Rng::seed_from_u64(3000 + n as u64);
+        let points = NodeDistribution::Civilized { lambda }
+            .sample(n, &mut rng)
+            .expect("civilized sampling");
+        // Range a few multiples of λ keeps the graph civilized
+        // (max/min edge ratio bounded) AND connected.
+        let range = (8.0 * lambda).min(0.45);
+        let gstar = unit_disk_graph(&points, range);
+        if !adhoc_graph::is_connected(&gstar.graph) {
+            // fall back to a denser range
+            continue;
+        }
+        let sources: Vec<u32> = (0..n as u32).step_by((n / 40).max(1)).collect();
+        for &theta in thetas {
+            let alg = ThetaAlg::new(theta, range);
+            let topo = alg.build(&points);
+            let yao = yao_graph(&points, alg.sectors(), range);
+            let st = sampled_distance_stretch(&topo.spatial, &gstar, &sources);
+            let st_yao = sampled_distance_stretch(&yao, &gstar, &sources);
+            table.push(vec![
+                n.to_string(),
+                format!("{lambda}"),
+                theta_label(theta),
+                f3(st.max),
+                f3(st_yao.max),
+                topo.spatial.graph.max_degree().to_string(),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_constant_distance_stretch() {
+        let t = run(true);
+        assert!(!t.rows.is_empty());
+        for row in &t.rows {
+            let st: f64 = row[3].parse().unwrap();
+            assert!((1.0..8.0).contains(&st), "distance stretch {st} not O(1)");
+            let st_yao: f64 = row[4].parse().unwrap();
+            assert!(st_yao <= st + 1e-9, "Yao is a supergraph of 𝒩: {row:?}");
+        }
+    }
+}

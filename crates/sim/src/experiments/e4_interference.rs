@@ -1,0 +1,102 @@
+//! **E4 — Lemma 2.10**: for `n` nodes uniform in the unit square, the
+//! interference number of `𝒩` is `O(log n)` whp.
+//!
+//! The table doubles `n` and tracks `I(𝒩) / log₂ n`, which must stay
+//! (roughly) flat, while `I(G*)` — shown for contrast — grows
+//! polynomially.
+
+use super::table::{f2, Table};
+use adhoc_core::ThetaAlg;
+use adhoc_geom::distributions::NodeDistribution;
+use adhoc_interference::{interference_number, InterferenceModel};
+use adhoc_proximity::unit_disk_graph;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::f64::consts::PI;
+
+/// Run E4 and return the table.
+pub fn run(quick: bool) -> Table {
+    let sizes: &[usize] = if quick {
+        &[100, 200, 400]
+    } else {
+        &[100, 200, 400, 800, 1600, 3200]
+    };
+    let deltas: &[f64] = if quick { &[0.5] } else { &[0.5, 1.0, 2.0] };
+    let trials = if quick { 2 } else { 3 };
+
+    let mut table = Table::new(
+        "E4 (Lemma 2.10): interference number I(𝒩) = O(log n) whp, uniform nodes (I(G*) for contrast)",
+        &["n", "Δ", "I(𝒩) avg", "I(𝒩)/log₂n", "I(G*) avg", "edges(𝒩)", "edges(G*)"],
+    );
+
+    for &delta in deltas {
+        let model = InterferenceModel::new(delta);
+        for &n in sizes {
+            // I(G*) is inherently quadratic in memory (every edge of the
+            // dense G* interferes with Θ(m) others, and the guard radius
+            // scales with Δ); only compute the contrast column at sizes
+            // where the sets fit comfortably.
+            let gstar_cap = if delta > 0.5 { 400 } else { 800 };
+            let mut i_theta_sum = 0.0;
+            let mut i_gstar_sum = 0.0;
+            let mut m_theta = 0usize;
+            let mut m_gstar = 0usize;
+            for t in 0..trials {
+                let mut rng = ChaCha8Rng::seed_from_u64(4000 + n as u64 * 17 + t as u64);
+                let points = NodeDistribution::unit_square()
+                    .sample(n, &mut rng)
+                    .expect("sampling");
+                let range = adhoc_geom::default_max_range(n);
+                let gstar = unit_disk_graph(&points, range);
+                let topo = ThetaAlg::new(PI / 3.0, range).build(&points);
+                i_theta_sum += interference_number(&topo.spatial, model) as f64;
+                if n <= gstar_cap {
+                    i_gstar_sum += interference_number(&gstar, model) as f64;
+                }
+                m_theta = topo.spatial.graph.num_edges();
+                m_gstar = gstar.graph.num_edges();
+            }
+            let i_theta = i_theta_sum / trials as f64;
+            let i_gstar = i_gstar_sum / trials as f64;
+            table.push(vec![
+                n.to_string(),
+                format!("{delta}"),
+                f2(i_theta),
+                f2(i_theta / (n as f64).log2()),
+                if n <= gstar_cap { f2(i_gstar) } else { "-".into() },
+                m_theta.to_string(),
+                m_gstar.to_string(),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_log_scaling_shape() {
+        let t = run(true);
+        assert_eq!(t.rows.len(), 3);
+        // I(𝒩) grows much slower than I(G*): compare growth factors from
+        // n=100 to n=400.
+        let i_theta_first: f64 = t.rows[0][2].parse().unwrap();
+        let i_theta_last: f64 = t.rows[2][2].parse().unwrap();
+        let i_gstar_first: f64 = t.rows[0][4].parse().unwrap();
+        let i_gstar_last: f64 = t.rows[2][4].parse().unwrap();
+        let g_theta = i_theta_last / i_theta_first.max(1.0);
+        let g_gstar = i_gstar_last / i_gstar_first.max(1.0);
+        assert!(
+            g_theta < g_gstar,
+            "I(𝒩) grew faster ({g_theta}) than I(G*) ({g_gstar})"
+        );
+        // And 𝒩 is always the less-interfering topology.
+        for row in &t.rows {
+            let i_t: f64 = row[2].parse().unwrap();
+            let i_g: f64 = row[4].parse().unwrap();
+            assert!(i_t <= i_g, "{row:?}");
+        }
+    }
+}

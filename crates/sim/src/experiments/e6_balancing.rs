@@ -1,0 +1,137 @@
+//! **E6 — Theorem 3.1**: the `(T,γ)`-balancing algorithm is
+//! `(1−ε, O(L̄/ε), O(1/ε))`-competitive.
+//!
+//! The theorem reads `A ≥ (1−ε)·OPT − r` with an additive residue `r`
+//! *independent of the request sequence*: with threshold `T`, a
+//! backpressure staircase of ≈ `(T+1)·L̄²/2` packets per flow stays
+//! resident forever. The experiment therefore sweeps the flow volume
+//! (packets per source–destination pair): the measured throughput ratio
+//! must climb toward `1−ε` as volume grows — that is the theorem's shape.
+//! Cost ratios must stay below `1 + 2/ε` throughout. The greedy
+//! shortest-path baseline runs under the same adversary for contrast.
+
+use super::table::{f2, f3, Table};
+use crate::runner::{run_balancing_on_schedule, run_greedy_on_schedule};
+use crate::schedule::build_schedule_hops;
+use crate::workloads::Workload;
+use adhoc_geom::distributions::NodeDistribution;
+use adhoc_proximity::unit_disk_graph;
+use adhoc_routing::{BalancingConfig, BalancingRouter, GreedyRouter};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn dests_of(schedule: &crate::schedule::Schedule) -> Vec<u32> {
+    let mut d: Vec<u32> = schedule
+        .injections
+        .iter()
+        .flat_map(|v| v.iter().map(|&(_, d)| d))
+        .collect();
+    d.sort_unstable();
+    d.dedup();
+    d
+}
+
+/// Run E6 and return the table.
+pub fn run(quick: bool) -> Table {
+    let n = 60;
+    let volumes: &[usize] = if quick {
+        &[20, 80, 320]
+    } else {
+        &[20, 80, 320, 640]
+    };
+    let epsilons: &[f64] = if quick { &[0.25] } else { &[0.5, 0.25, 0.1] };
+    let repeats = if quick { 15 } else { 40 };
+    let flows = 6;
+
+    let mut table = Table::new(
+        "E6 (Theorem 3.1): (T,γ)-balancing vs OPT — throughput ratio climbs to 1−ε as flow volume grows",
+        &[
+            "ε", "pkts/flow", "T", "γ", "H", "thr ratio", "cost ratio (≤1+2/ε?)", "thr greedy",
+            "resident",
+        ],
+    );
+
+    let mut rng = ChaCha8Rng::seed_from_u64(6000);
+    let points = NodeDistribution::unit_square()
+        .sample(n, &mut rng)
+        .expect("sampling");
+    // A denser G* keeps L̄ ≈ 3 so the staircase residue is small relative
+    // to the swept volumes.
+    let sg = unit_disk_graph(&points, 0.5);
+    let distinct = Workload::RandomPairs.pairs(n, flows, &mut rng);
+
+    for &eps in epsilons {
+        for &volume in volumes {
+            let mut pairs = Vec::with_capacity(flows * volume);
+            for _ in 0..volume {
+                pairs.extend(distinct.iter().copied());
+            }
+            let schedule = build_schedule_hops(&sg, &pairs);
+            let dests = dests_of(&schedule);
+            if dests.is_empty() {
+                continue;
+            }
+            let mut cfg = BalancingConfig::from_theorem_3_1(
+                schedule.opt_buffer,
+                1,
+                schedule.l_bar().max(1.0),
+                schedule.c_bar().max(1e-6),
+                eps,
+            );
+            // Buffers must also hold the injected backlog (the adversary
+            // front-loads whole flows; Theorem 3.1's scale factor assumes
+            // smooth injections).
+            cfg.capacity = cfg.capacity.max(volume as u32);
+            let mut router = BalancingRouter::new(sg.len(), &dests, cfg);
+            let rep = run_balancing_on_schedule(&mut router, &schedule, repeats);
+            let mut greedy = GreedyRouter::new(&sg.hop_graph(), &dests, cfg.capacity);
+            let grep = run_greedy_on_schedule(&mut greedy, &schedule, repeats);
+            table.push(vec![
+                format!("{eps}"),
+                volume.to_string(),
+                f2(cfg.threshold),
+                f2(cfg.gamma),
+                cfg.capacity.to_string(),
+                f3(rep.throughput_ratio()),
+                rep.cost_ratio().map(f3).unwrap_or_else(|| "-".into()),
+                f3(grep.throughput_ratio()),
+                router.bank().total_buffered().to_string(),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_competitive_shape() {
+        let t = run(true);
+        assert!(t.rows.len() >= 3);
+        for row in &t.rows {
+            let eps: f64 = row[0].parse().unwrap();
+            if row[6] != "-" {
+                let cost: f64 = row[6].parse().unwrap();
+                assert!(
+                    cost <= 1.0 + 2.0 / eps,
+                    "cost ratio {cost} above 1 + 2/ε: {row:?}"
+                );
+            }
+        }
+        // Throughput ratio climbs with volume and ends near 1−ε.
+        let ratios: Vec<f64> = t.rows.iter().map(|r| r[5].parse().unwrap()).collect();
+        assert!(
+            ratios.windows(2).all(|w| w[1] >= w[0] - 0.05),
+            "ratio not (weakly) increasing with volume: {ratios:?}"
+        );
+        let last = *ratios.last().unwrap();
+        let eps: f64 = t.rows.last().unwrap()[0].parse().unwrap();
+        assert!(
+            last >= (1.0 - eps) * 0.85,
+            "final throughput ratio {last} well below 1−ε = {}",
+            1.0 - eps
+        );
+    }
+}

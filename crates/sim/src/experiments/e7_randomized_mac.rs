@@ -1,0 +1,120 @@
+//! **E7 — Lemma 3.2 / Theorem 3.3**: under the randomized
+//! symmetry-breaking MAC (edge active w.p. `1/(2 I_e)`), every active
+//! edge conflicts with probability ≤ 1/2, and the `(T,γ,I)`-balancing
+//! algorithm achieves `Ω(1/I)` of the interference-free optimum.
+//!
+//! Columns: the measured conflict probability (must be ≤ 0.5), the
+//! per-step goodput, and the ratio to an interference-free balancing run
+//! on the same topology (the Theorem 3.3 comparator), against `1/(8I)`.
+
+use super::table::{f3, Table};
+use adhoc_core::ThetaAlg;
+use adhoc_geom::distributions::NodeDistribution;
+use adhoc_interference::{ActivationRule, InterferenceModel};
+use adhoc_routing::{ActiveEdge, BalancingConfig, BalancingRouter, InterferenceRouter};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use std::f64::consts::PI;
+
+/// Run E7 and return the table.
+pub fn run(quick: bool) -> Table {
+    let sizes: &[usize] = if quick { &[80] } else { &[80, 200, 400] };
+    let steps = if quick { 2000 } else { 6000 };
+    let rules = [ActivationRule::GlobalBound, ActivationRule::Local];
+
+    let mut table = Table::new(
+        "E7 (Lemma 3.2 / Thm 3.3): randomized MAC — conflict prob ≤ 1/2 and Ω(1/I) goodput",
+        &[
+            "n", "rule", "I", "P[conflict]", "goodput/step", "no-interf goodput", "ratio",
+            "1/(8I)",
+        ],
+    );
+
+    for &n in sizes {
+        for rule in rules {
+            let mut rng = ChaCha8Rng::seed_from_u64(7000 + n as u64);
+            let points = NodeDistribution::unit_square()
+                .sample(n, &mut rng)
+                .expect("sampling");
+            let range = adhoc_geom::default_max_range(n);
+            let topo = ThetaAlg::new(PI / 3.0, range).build(&points);
+            let cfg = BalancingConfig {
+                threshold: 1.0,
+                gamma: 0.0,
+                capacity: 40,
+            };
+            let model = InterferenceModel::new(0.5);
+
+            // (T,γ,I)-balancing run.
+            let mut ir = InterferenceRouter::new(&topo.spatial, &[0], cfg, model, rule, 2.0);
+            let inter_num = ir.mac().interference_number();
+            let mut conflicts = 0u64;
+            let mut attempts = 0u64;
+            let mut proto_rng = ChaCha8Rng::seed_from_u64(7100 + n as u64);
+            for s in 0..steps {
+                // inject at a rotating set of sources
+                ir.inject((1 + (s % (n - 1))) as u32, 0);
+                let out = ir.step(&mut proto_rng);
+                attempts += out.attempted as u64;
+                conflicts += (out.attempted - out.succeeded) as u64;
+            }
+            let m = ir.metrics();
+            let goodput = m.delivered as f64 / steps as f64;
+
+            // Interference-free comparator: the same balancing algorithm
+            // with ALL topology edges usable every step (what Theorem 3.3's
+            // optimum may do).
+            let mut free = BalancingRouter::new(topo.spatial.len(), &[0], cfg);
+            let all_edges: Vec<ActiveEdge> = topo
+                .spatial
+                .graph
+                .edges()
+                .map(|(u, v, w)| ActiveEdge::new(u, v, w * w))
+                .collect();
+            for s in 0..steps {
+                free.inject((1 + (s % (n - 1))) as u32, 0);
+                free.step(&all_edges);
+            }
+            let free_goodput = free.metrics().delivered as f64 / steps as f64;
+
+            let conflict_p = if attempts > 0 {
+                conflicts as f64 / attempts as f64
+            } else {
+                0.0
+            };
+            table.push(vec![
+                n.to_string(),
+                format!("{rule:?}"),
+                inter_num.to_string(),
+                f3(conflict_p),
+                f3(goodput),
+                f3(free_goodput),
+                f3(goodput / free_goodput.max(1e-9)),
+                f3(1.0 / (8.0 * inter_num.max(1) as f64)),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_lemma_3_2_and_goodput() {
+        let t = run(true);
+        assert!(!t.rows.is_empty());
+        for row in &t.rows {
+            let conflict_p: f64 = row[3].parse().unwrap();
+            assert!(conflict_p <= 0.55, "conflict probability {conflict_p} > 1/2");
+            let ratio: f64 = row[6].parse().unwrap();
+            let bound: f64 = row[7].parse().unwrap();
+            // Theorem 3.3 shape: goodput ratio at least ~1/(8I).
+            assert!(
+                ratio >= bound * 0.5,
+                "goodput ratio {ratio} below the Ω(1/I) regime ({bound}): {row:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! **E9 — Lemmas 3.6/3.7, Theorem 3.8**: the honeycomb algorithm at fixed
+//! transmission strength.
+//!
+//! Three measurements on a dense multi-hexagon deployment:
+//! 1. contestants' benefit sum vs the best independent pair set
+//!    (Lemma 3.6's constant `c_b`) on small instances, exactly;
+//! 2. probability that a selected contestant survives (Lemma 3.7: ≥ 1/2
+//!    when `p_t ≤ 1/6`);
+//! 3. sustained goodput of the full router.
+
+use super::table::{f3, Table};
+use adhoc_geom::{HexCoord, Point};
+use adhoc_interference::hexmac::{Candidate, HoneycombMac};
+use adhoc_interference::model::{pairs_independent, Transmission};
+use adhoc_routing::{HoneycombConfig, HoneycombRouter};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// Run E9 and return the table.
+pub fn run(quick: bool) -> Table {
+    let delta = 0.5;
+    let trials = if quick { 800 } else { 3000 };
+    let steps = if quick { 3000 } else { 10000 };
+
+    let mut table = Table::new(
+        "E9 (Lemmas 3.6/3.7, Thm 3.8): honeycomb algorithm at fixed unit transmission strength",
+        &["measurement", "value", "paper bound", "holds"],
+    );
+
+    // --- Lemma 3.6: contestant benefit vs exact independent optimum ----
+    {
+        let mac = HoneycombMac::with_paper_pt(delta, 0.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(9001);
+        let mut worst_ratio = f64::INFINITY;
+        for _ in 0..20 {
+            let mut positions = Vec::new();
+            let mut candidates = Vec::new();
+            for _ in 0..12 {
+                let s = Point::new(rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0));
+                let t = Point::new(s.x + rng.gen_range(0.1..0.9), s.y);
+                let a = positions.len() as u32;
+                positions.push(s);
+                positions.push(t);
+                candidates.push(Candidate {
+                    link: Transmission::new(a, a + 1),
+                    benefit: rng.gen_range(0.5..5.0),
+                });
+            }
+            let winners = mac.contestants(&positions, &candidates);
+            let wb: f64 = winners.iter().map(|&i| candidates[i].benefit).sum();
+            let mut best = 0.0f64;
+            for mask in 0u32..(1 << candidates.len()) {
+                let subset: Vec<_> = (0..candidates.len())
+                    .filter(|&i| mask & (1 << i) != 0)
+                    .map(|i| candidates[i].link)
+                    .collect();
+                if pairs_independent(&positions, &subset, delta) {
+                    let w: f64 = (0..candidates.len())
+                        .filter(|&i| mask & (1 << i) != 0)
+                        .map(|i| candidates[i].benefit)
+                        .sum();
+                    best = best.max(w);
+                }
+            }
+            if best > 0.0 {
+                worst_ratio = worst_ratio.min(wb / best);
+            }
+        }
+        table.push(vec![
+            "Lemma 3.6: min contestant/OPT benefit ratio".into(),
+            f3(worst_ratio),
+            "≥ 1/c_b (const)".into(),
+            (worst_ratio > 0.05).to_string(),
+        ]);
+    }
+
+    // --- Lemma 3.7: survival probability of selected contestants -------
+    {
+        let mac = HoneycombMac::with_paper_pt(delta, 0.0);
+        let grid = mac.grid();
+        let mut positions = Vec::new();
+        let mut candidates = Vec::new();
+        for q in -3..=3 {
+            for r in -3..=3 {
+                let c = grid.center(HexCoord::new(q, r));
+                let s = positions.len() as u32;
+                positions.push(c);
+                positions.push(Point::new(c.x + 0.9, c.y));
+                candidates.push(Candidate {
+                    link: Transmission::new(s, s + 1),
+                    benefit: 1.0,
+                });
+            }
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(9002);
+        let mut selected_events = 0usize;
+        let mut survived = 0usize;
+        for _ in 0..trials {
+            let out = mac.contest(&positions, &candidates, &mut rng);
+            let sel: Vec<Transmission> =
+                out.selected.iter().map(|&i| candidates[i].link).collect();
+            for (k, _) in out.selected.iter().enumerate() {
+                selected_events += 1;
+                let me = sel[k];
+                let clean = sel.iter().enumerate().all(|(j, other)| {
+                    j == k || {
+                        let mut far = true;
+                        for &x in &[me.a, me.b] {
+                            for &y in &[other.a, other.b] {
+                                if positions[x as usize].dist(positions[y as usize])
+                                    <= 1.0 + delta
+                                {
+                                    far = false;
+                                }
+                            }
+                        }
+                        far
+                    }
+                });
+                survived += clean as usize;
+            }
+        }
+        let p = survived as f64 / selected_events.max(1) as f64;
+        table.push(vec![
+            "Lemma 3.7: P[selected contestant survives]".into(),
+            f3(p),
+            "≥ 1/2".into(),
+            (p >= 0.5).to_string(),
+        ]);
+    }
+
+    // --- Theorem 3.8: sustained goodput of the full router -------------
+    {
+        // 8×8 grid deployment, spacing 0.8 (unit-range neighbors), four
+        // corner sinks.
+        let mut positions = Vec::new();
+        for i in 0..8 {
+            for j in 0..8 {
+                positions.push(Point::new(0.8 * i as f64, 0.8 * j as f64));
+            }
+        }
+        let dests = [0u32, 7, 56, 63];
+        let mut router = HoneycombRouter::new(
+            &positions,
+            &dests,
+            HoneycombConfig {
+                threshold: 0.5,
+                capacity: 10,
+                delta,
+                p_t: 1.0 / 6.0,
+            },
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(9003);
+        for s in 0..steps {
+            let src = 9 + (s % 45) as u32; // interior nodes
+            let d = dests[s % 4];
+            if src != d {
+                router.inject(src, d);
+            }
+            router.step(&mut rng);
+        }
+        let m = router.metrics();
+        let goodput = m.delivered as f64 / steps as f64;
+        table.push(vec![
+            "Thm 3.8: goodput (deliveries/step, 8×8 grid)".into(),
+            f3(goodput),
+            "> 0 (const fraction)".into(),
+            (goodput > 0.005).to_string(),
+        ]);
+        let fail_rate = m.failed_sends as f64 / (m.sends + m.failed_sends).max(1) as f64;
+        table.push(vec![
+            "Thm 3.8: collision rate among transmissions".into(),
+            f3(fail_rate),
+            "≤ 1/2".into(),
+            (fail_rate <= 0.5).to_string(),
+        ]);
+    }
+
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_all_bounds_hold() {
+        let t = run(true);
+        assert_eq!(t.rows.len(), 4);
+        for row in &t.rows {
+            assert_eq!(row[3], "true", "bound failed: {row:?}");
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Experiment runners E1–E19.
+//!
+//! The paper is theoretical: its "evaluation" is a set of theorems. Each
+//! experiment here regenerates one claim as a measured table (see
+//! DESIGN.md §4 for the full index):
+//!
+//! | id  | claim |
+//! |-----|-------|
+//! | E1  | Lemma 2.1 — `𝒩` connected, degree ≤ 4π/θ |
+//! | E2  | Theorem 2.2 — O(1) energy-stretch, any distribution |
+//! | E3  | Theorem 2.7 — O(1) distance-stretch, civilized graphs |
+//! | E4  | Lemma 2.10 — interference number O(log n) whp |
+//! | E5  | Lemma 2.9 / Theorem 2.8 — θ-path congestion & emulation |
+//! | E6  | Theorem 3.1 — (T,γ)-balancing competitiveness |
+//! | E7  | Lemma 3.2 / Theorem 3.3 — randomized MAC |
+//! | E8  | Corollaries 3.4/3.5 — end-to-end ΘALG + (T,γ,I) |
+//! | E9  | Lemmas 3.6/3.7, Theorem 3.8 — honeycomb algorithm |
+//! | E10 | Lemmas 2.3–2.6 + Figure 5 — geometric foundations |
+//! | E11 | extension — mobility / dynamic topologies |
+//! | E12 | ablation — stale-height control-traffic trade (§3.2 remark) |
+//! | E13 | open problem §2 — is 𝒩 a spanner? + global comparators |
+//! | E14 | model validation — protocol (Δ) vs physical (SINR) model |
+//! | E15 | extensions — latency percentiles, anycast generalization |
+//! | E16 | Theorem 2.8 constructive — TDMA coloring + min-cut ceiling |
+//! | E17 | ablation — the cost term γ (γ=0 = prior cost-oblivious work) |
+//! | E18 | baseline contrast — greedy geographic forwarding vs balancing on voids |
+//! | E19 | Theorem 2.8 end-to-end — G*-schedule emulation on 𝒩, slowdown vs O(I) |
+
+pub mod e11_mobility;
+pub mod e12_stale_heights;
+pub mod e13_spanner_probe;
+pub mod e14_sinr;
+pub mod e15_latency_anycast;
+pub mod e16_tdma;
+pub mod e17_gamma_ablation;
+pub mod e18_geographic;
+pub mod e19_emulation;
+pub mod e1_degree;
+pub mod e2_energy_stretch;
+pub mod e3_distance_stretch;
+pub mod e4_interference;
+pub mod e5_theta_paths;
+pub mod e6_balancing;
+pub mod e7_randomized_mac;
+pub mod e8_end_to_end;
+pub mod e9_honeycomb;
+pub mod e10_geometry;
+pub mod table;
+
+pub use table::Table;
+
+/// Run an experiment by id ("e1" … "e10"); `quick` shrinks the parameter
+/// sweep for smoke tests.
+pub fn run_by_name(name: &str, quick: bool) -> Option<Table> {
+    match name.to_ascii_lowercase().as_str() {
+        "e1" => Some(e1_degree::run(quick)),
+        "e2" => Some(e2_energy_stretch::run(quick)),
+        "e3" => Some(e3_distance_stretch::run(quick)),
+        "e4" => Some(e4_interference::run(quick)),
+        "e5" => Some(e5_theta_paths::run(quick)),
+        "e6" => Some(e6_balancing::run(quick)),
+        "e7" => Some(e7_randomized_mac::run(quick)),
+        "e8" => Some(e8_end_to_end::run(quick)),
+        "e9" => Some(e9_honeycomb::run(quick)),
+        "e10" => Some(e10_geometry::run(quick)),
+        "e11" => Some(e11_mobility::run(quick)),
+        "e12" => Some(e12_stale_heights::run(quick)),
+        "e13" => Some(e13_spanner_probe::run(quick)),
+        "e14" => Some(e14_sinr::run(quick)),
+        "e15" => Some(e15_latency_anycast::run(quick)),
+        "e16" => Some(e16_tdma::run(quick)),
+        "e17" => Some(e17_gamma_ablation::run(quick)),
+        "e18" => Some(e18_geographic::run(quick)),
+        "e19" => Some(e19_emulation::run(quick)),
+        _ => None,
+    }
+}
+
+/// All experiment ids in order.
+pub const ALL: [&str; 19] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+    "e15", "e16", "e17", "e18", "e19",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_experiment_is_none() {
+        assert!(run_by_name("e99", true).is_none());
+        assert!(run_by_name("", true).is_none());
+    }
+
+    #[test]
+    fn name_matching_case_insensitive() {
+        assert!(run_by_name("E10", true).is_some());
+    }
+}

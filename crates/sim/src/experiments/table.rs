@@ -1,0 +1,110 @@
+//! Minimal aligned-text table for the report binary and EXPERIMENTS.md.
+
+/// A titled table of string cells.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    pub title: String,
+    pub headers: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with the given title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header count).
+    pub fn push(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Render with aligned columns (markdown-flavoured pipes).
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n\n", self.title));
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::from("|");
+            for i in 0..cols {
+                line.push_str(&format!(" {:<w$} |", cells[i], w = widths[i]));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.headers));
+        let mut sep = String::from("|");
+        for w in &widths {
+            sep.push_str(&format!("{}|", "-".repeat(w + 2)));
+        }
+        sep.push('\n');
+        out.push_str(&sep);
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+        }
+        out
+    }
+}
+
+/// Format a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Format a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Format θ as a fraction of π.
+pub fn theta_label(theta: f64) -> String {
+    format!("π/{:.0}", std::f64::consts::PI / theta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns() {
+        let mut t = Table::new("Demo", &["a", "bee"]);
+        t.push(vec!["1".into(), "2".into()]);
+        t.push(vec!["1000".into(), "2".into()]);
+        let r = t.render();
+        assert!(r.contains("## Demo"));
+        assert!(r.contains("| a    | bee |"));
+        assert!(r.contains("| 1000 | 2   |"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_width_panics() {
+        let mut t = Table::new("Demo", &["a"]);
+        t.push(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(f2(1.23456), "1.23");
+        assert_eq!(theta_label(std::f64::consts::FRAC_PI_3), "π/3");
+        assert_eq!(theta_label(std::f64::consts::PI / 6.0), "π/6");
+    }
+}

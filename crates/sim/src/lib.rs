@@ -1,0 +1,36 @@
+//! # adhoc-sim
+//!
+//! Simulation harness for the SPAA'03 reproduction. This crate turns the
+//! algorithm crates into *experiments*: every theorem/lemma of the paper
+//! maps to one module under [`experiments`] (ids E1–E19, see DESIGN.md),
+//! each producing typed table rows that the `report` binary prints in the
+//! style of a paper evaluation section.
+//!
+//! * [`config`] — serde-serializable scenario descriptions (seeded).
+//! * [`workloads`] — source/destination pair generators (random pairs,
+//!   permutations, single sink, bursts).
+//! * [`schedule`] — **OPT-by-construction**: a feasible conflict-free
+//!   schedule is built first (vertex-disjoint waves of shortest paths),
+//!   then presented to the online algorithm as an adversarial sequence of
+//!   edge activations and injections. Because the schedule is feasible,
+//!   its packet count / cost / buffer usage are exact lower bounds on the
+//!   optimum, making measured competitive ratios conservative.
+//! * [`runner`] — drives a router over a schedule and reports
+//!   throughput/cost ratios versus OPT.
+//! * [`mobility`] — a random-waypoint model for dynamic-topology
+//!   experiments.
+//! * [`experiments`] — E1–E19 runners.
+
+pub mod config;
+pub mod emulation;
+pub mod experiments;
+pub mod mobility;
+pub mod render;
+pub mod runner;
+pub mod schedule;
+pub mod workloads;
+
+pub use config::ScenarioConfig;
+pub use runner::{run_balancing_on_schedule, CompetitiveReport};
+pub use schedule::{build_schedule, build_schedule_hops, Schedule, ScheduledHop};
+pub use workloads::Workload;

@@ -1,0 +1,299 @@
+//! SVG rendering of spatial topologies.
+//!
+//! Produces self-contained SVG documents for visual inspection of the
+//! structures the paper reasons about: `G*` vs `𝒩`, the hexagon tiling of
+//! Figure 5, and per-edge highlighting (e.g. θ-path replacements). Pure
+//! string generation — no graphics dependencies.
+
+use adhoc_geom::{HexCoord, HexGrid, Point};
+use adhoc_proximity::SpatialGraph;
+use std::fmt::Write as _;
+
+/// Style options for [`render_svg`].
+#[derive(Debug, Clone)]
+pub struct RenderStyle {
+    /// Canvas width/height in pixels.
+    pub size: f64,
+    /// Node radius in pixels.
+    pub node_radius: f64,
+    /// Edge stroke color (CSS).
+    pub edge_color: String,
+    /// Node fill color (CSS).
+    pub node_color: String,
+    /// Edge stroke width in pixels.
+    pub edge_width: f64,
+}
+
+impl Default for RenderStyle {
+    fn default() -> Self {
+        RenderStyle {
+            size: 800.0,
+            node_radius: 3.0,
+            edge_color: "#3366cc".into(),
+            node_color: "#222222".into(),
+            edge_width: 1.0,
+        }
+    }
+}
+
+/// Affine map from the point set's bounding box (plus a margin) onto the
+/// canvas.
+struct Viewport {
+    min_x: f64,
+    min_y: f64,
+    scale: f64,
+    size: f64,
+}
+
+impl Viewport {
+    fn fit(points: &[Point], size: f64) -> Viewport {
+        let mut min_x = f64::INFINITY;
+        let mut min_y = f64::INFINITY;
+        let mut max_x = f64::NEG_INFINITY;
+        let mut max_y = f64::NEG_INFINITY;
+        for p in points {
+            min_x = min_x.min(p.x);
+            min_y = min_y.min(p.y);
+            max_x = max_x.max(p.x);
+            max_y = max_y.max(p.y);
+        }
+        if points.is_empty() {
+            return Viewport {
+                min_x: 0.0,
+                min_y: 0.0,
+                scale: 1.0,
+                size,
+            };
+        }
+        let span = (max_x - min_x).max(max_y - min_y).max(1e-9);
+        let margin = 0.05 * span;
+        Viewport {
+            min_x: min_x - margin,
+            min_y: min_y - margin,
+            scale: size / (span + 2.0 * margin),
+            size,
+        }
+    }
+
+    fn x(&self, p: Point) -> f64 {
+        (p.x - self.min_x) * self.scale
+    }
+
+    /// SVG's y axis points down; flip so the plane renders upright.
+    fn y(&self, p: Point) -> f64 {
+        self.size - (p.y - self.min_y) * self.scale
+    }
+}
+
+/// Render a spatial graph as an SVG document.
+pub fn render_svg(sg: &SpatialGraph, style: &RenderStyle) -> String {
+    let vp = Viewport::fit(&sg.points, style.size);
+    let mut out = String::with_capacity(1024 + 64 * sg.graph.num_edges());
+    let _ = writeln!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{0}" height="{0}" viewBox="0 0 {0} {0}">"#,
+        style.size
+    );
+    let _ = writeln!(out, r#"<rect width="100%" height="100%" fill="white"/>"#);
+    for (u, v, _) in sg.graph.edges() {
+        let (a, b) = (sg.pos(u), sg.pos(v));
+        let _ = writeln!(
+            out,
+            r#"<line x1="{:.2}" y1="{:.2}" x2="{:.2}" y2="{:.2}" stroke="{}" stroke-width="{}"/>"#,
+            vp.x(a),
+            vp.y(a),
+            vp.x(b),
+            vp.y(b),
+            style.edge_color,
+            style.edge_width
+        );
+    }
+    for &p in &sg.points {
+        let _ = writeln!(
+            out,
+            r#"<circle cx="{:.2}" cy="{:.2}" r="{}" fill="{}"/>"#,
+            vp.x(p),
+            vp.y(p),
+            style.node_radius,
+            style.node_color
+        );
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Render two topologies on the same node set side-by-side-in-one-canvas:
+/// `background` (light) under `foreground` (strong) — the canonical
+/// "G* vs 𝒩" picture.
+pub fn render_overlay_svg(
+    background: &SpatialGraph,
+    foreground: &SpatialGraph,
+    size: f64,
+) -> String {
+    assert_eq!(
+        background.len(),
+        foreground.len(),
+        "overlay requires a shared node set"
+    );
+    let vp = Viewport::fit(&background.points, size);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{0}" height="{0}" viewBox="0 0 {0} {0}">"#,
+        size
+    );
+    let _ = writeln!(out, r#"<rect width="100%" height="100%" fill="white"/>"#);
+    for (u, v, _) in background.graph.edges() {
+        let (a, b) = (background.pos(u), background.pos(v));
+        let _ = writeln!(
+            out,
+            r##"<line x1="{:.2}" y1="{:.2}" x2="{:.2}" y2="{:.2}" stroke="#dddddd" stroke-width="0.6"/>"##,
+            vp.x(a), vp.y(a), vp.x(b), vp.y(b)
+        );
+    }
+    for (u, v, _) in foreground.graph.edges() {
+        let (a, b) = (foreground.pos(u), foreground.pos(v));
+        let _ = writeln!(
+            out,
+            r##"<line x1="{:.2}" y1="{:.2}" x2="{:.2}" y2="{:.2}" stroke="#cc3333" stroke-width="1.4"/>"##,
+            vp.x(a), vp.y(a), vp.x(b), vp.y(b)
+        );
+    }
+    for &p in &background.points {
+        let _ = writeln!(
+            out,
+            r##"<circle cx="{:.2}" cy="{:.2}" r="2.5" fill="#222222"/>"##,
+            vp.x(p),
+            vp.y(p)
+        );
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Render the honeycomb tiling (paper Fig. 5) behind a point set: hexagon
+/// outlines for every cell that contains at least one node.
+pub fn render_hex_tiling_svg(points: &[Point], grid: HexGrid, size: f64) -> String {
+    let vp = Viewport::fit(points, size);
+    let mut cells: Vec<HexCoord> = points.iter().map(|&p| grid.hex_of(p)).collect();
+    cells.sort_unstable();
+    cells.dedup();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{0}" height="{0}" viewBox="0 0 {0} {0}">"#,
+        size
+    );
+    let _ = writeln!(out, r#"<rect width="100%" height="100%" fill="white"/>"#);
+    for &cell in &cells {
+        let c = grid.center(cell);
+        let mut path = String::from("M ");
+        for k in 0..6 {
+            // pointy-top hexagon corners at 30° + 60°k
+            let ang = std::f64::consts::FRAC_PI_6 + k as f64 * std::f64::consts::FRAC_PI_3;
+            let corner = Point::new(
+                c.x + grid.side() * ang.cos(),
+                c.y + grid.side() * ang.sin(),
+            );
+            if k > 0 {
+                path.push_str("L ");
+            }
+            let _ = write!(path, "{:.2} {:.2} ", vp.x(corner), vp.y(corner));
+        }
+        path.push('Z');
+        let _ = writeln!(
+            out,
+            r##"<path d="{path}" fill="#f5f0e0" stroke="#bbaa66" stroke-width="1"/>"##
+        );
+    }
+    for &p in points {
+        let _ = writeln!(
+            out,
+            r##"<circle cx="{:.2}" cy="{:.2}" r="3" fill="#222222"/>"##,
+            vp.x(p),
+            vp.y(p)
+        );
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adhoc_geom::distributions::NodeDistribution;
+    use adhoc_proximity::unit_disk_graph;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn sample_graph() -> SpatialGraph {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let points = NodeDistribution::unit_square().sample(30, &mut rng).unwrap();
+        unit_disk_graph(&points, 0.3)
+    }
+
+    #[test]
+    fn svg_is_well_formed_and_complete() {
+        let sg = sample_graph();
+        let svg = render_svg(&sg, &RenderStyle::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<circle").count(), sg.len());
+        assert_eq!(svg.matches("<line").count(), sg.graph.num_edges());
+    }
+
+    #[test]
+    fn coordinates_within_canvas() {
+        let sg = sample_graph();
+        let style = RenderStyle {
+            size: 500.0,
+            ..Default::default()
+        };
+        let svg = render_svg(&sg, &style);
+        for cap in svg.split("cx=\"").skip(1) {
+            let x: f64 = cap.split('"').next().unwrap().parse().unwrap();
+            assert!((0.0..=500.0).contains(&x), "x={x} escapes the canvas");
+        }
+    }
+
+    #[test]
+    fn overlay_draws_both_layers() {
+        let sg = sample_graph();
+        let topo = adhoc_core::ThetaAlg::new(std::f64::consts::FRAC_PI_3, 0.3)
+            .build(&sg.points);
+        let svg = render_overlay_svg(&sg, &topo.spatial, 600.0);
+        assert_eq!(
+            svg.matches("<line").count(),
+            sg.graph.num_edges() + topo.spatial.graph.num_edges()
+        );
+        assert!(svg.contains("#cc3333")); // foreground styling present
+    }
+
+    #[test]
+    #[should_panic]
+    fn overlay_mismatched_nodes_panics() {
+        let sg = sample_graph();
+        let other = unit_disk_graph(&sg.points[..10], 0.3);
+        render_overlay_svg(&sg, &other, 600.0);
+    }
+
+    #[test]
+    fn hex_tiling_covers_occupied_cells() {
+        let sg = sample_graph();
+        let grid = HexGrid::for_guard_zone(0.5);
+        let svg = render_hex_tiling_svg(&sg.points, grid, 600.0);
+        let mut cells: Vec<_> = sg.points.iter().map(|&p| grid.hex_of(p)).collect();
+        cells.sort_unstable();
+        cells.dedup();
+        assert_eq!(svg.matches("<path").count(), cells.len());
+        assert_eq!(svg.matches("<circle").count(), sg.len());
+    }
+
+    #[test]
+    fn empty_input_renders_empty_canvas() {
+        let sg = SpatialGraph::new(vec![], adhoc_graph::GraphBuilder::new(0).build(), 1.0);
+        let svg = render_svg(&sg, &RenderStyle::default());
+        assert!(svg.contains("<svg"));
+        assert_eq!(svg.matches("<circle").count(), 0);
+    }
+}

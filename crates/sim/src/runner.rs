@@ -1,0 +1,236 @@
+//! Drive routers over reference schedules and measure competitiveness.
+
+use crate::schedule::Schedule;
+use adhoc_routing::{ActiveEdge, BalancingRouter, GreedyRouter, Metrics};
+
+/// Result of racing an online algorithm against an OPT-by-construction
+/// schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompetitiveReport {
+    /// Packets OPT delivers (= all scheduled packets).
+    pub opt_packets: u64,
+    /// OPT's average cost per packet `C̄`.
+    pub opt_avg_cost: f64,
+    /// OPT's average path length `L̄`.
+    pub opt_avg_path: f64,
+    /// Steps in one pass of the schedule.
+    pub opt_steps: u64,
+    /// The online algorithm's metrics after the run.
+    pub alg: Metrics,
+}
+
+impl CompetitiveReport {
+    /// Throughput competitiveness `t`: delivered / OPT packets, clamped
+    /// to [0, 1] (the algorithm cannot deliver packets OPT didn't inject,
+    /// because injections are shared).
+    pub fn throughput_ratio(&self) -> f64 {
+        if self.opt_packets == 0 {
+            return 1.0;
+        }
+        (self.alg.delivered as f64 / self.opt_packets as f64).min(1.0)
+    }
+
+    /// Cost competitiveness `c`: the algorithm's average delivery cost
+    /// over OPT's `C̄`. `None` before any delivery.
+    pub fn cost_ratio(&self) -> Option<f64> {
+        let alg = self.alg.avg_cost_per_delivery()?;
+        (self.opt_avg_cost > 0.0).then(|| alg / self.opt_avg_cost)
+    }
+}
+
+/// Present the schedule's activations/injections to a `(T,γ)`-balancing
+/// router. The edge activation sequence is replayed `repeats ≥ 1` times
+/// (injections happen only in the first pass) — the extra passes
+/// correspond to the additive slack `r` in the paper's competitive
+/// definition, letting the backlog drain.
+pub fn run_balancing_on_schedule(
+    router: &mut BalancingRouter,
+    schedule: &Schedule,
+    repeats: usize,
+) -> CompetitiveReport {
+    let mut edges_buf: Vec<ActiveEdge> = Vec::new();
+    for rep in 0..repeats.max(1) {
+        for (t, hops) in schedule.steps.iter().enumerate() {
+            if rep == 0 {
+                for &(src, dest) in &schedule.injections[t] {
+                    router.inject(src, dest);
+                }
+            }
+            edges_buf.clear();
+            edges_buf.extend(
+                hops.iter()
+                    .map(|h| ActiveEdge::new(h.from, h.to, h.cost)),
+            );
+            router.step(&edges_buf);
+        }
+    }
+    CompetitiveReport {
+        opt_packets: schedule.packets as u64,
+        opt_avg_cost: schedule.c_bar(),
+        opt_avg_path: schedule.l_bar(),
+        opt_steps: schedule.len() as u64,
+        alg: router.metrics(),
+    }
+}
+
+/// Same harness for the greedy baseline.
+pub fn run_greedy_on_schedule(
+    router: &mut GreedyRouter,
+    schedule: &Schedule,
+    repeats: usize,
+) -> CompetitiveReport {
+    let mut edges_buf: Vec<ActiveEdge> = Vec::new();
+    for rep in 0..repeats.max(1) {
+        for (t, hops) in schedule.steps.iter().enumerate() {
+            if rep == 0 {
+                for &(src, dest) in &schedule.injections[t] {
+                    router.inject(src, dest);
+                }
+            }
+            edges_buf.clear();
+            edges_buf.extend(
+                hops.iter()
+                    .map(|h| ActiveEdge::new(h.from, h.to, h.cost)),
+            );
+            router.step(&edges_buf);
+        }
+    }
+    CompetitiveReport {
+        opt_packets: schedule.packets as u64,
+        opt_avg_cost: schedule.c_bar(),
+        opt_avg_path: schedule.l_bar(),
+        opt_steps: schedule.len() as u64,
+        alg: router.metrics(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::build_schedule;
+    use crate::workloads::Workload;
+    use adhoc_geom::Point;
+    use adhoc_proximity::unit_disk_graph;
+    use adhoc_routing::BalancingConfig;
+    use rand::prelude::*;
+    use rand_chacha::ChaCha8Rng;
+
+    fn setup(n: usize, seed: u64) -> (adhoc_proximity::SpatialGraph, Schedule) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let points: Vec<Point> = (0..n)
+            .map(|_| Point::new(rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect();
+        // Dense G* keeps paths short (small staircase residue). With
+        // threshold T ≥ B the balancing rule needs height differences
+        // > T, which single-packet flows never build: each distinct pair
+        // carries 120 packets so the resident staircase ~(T+1)·L̄²/2 (the
+        // additive `r` of the competitive definition) is a small
+        // fraction of the volume.
+        let sg = unit_disk_graph(&points, 0.5);
+        let distinct = Workload::RandomPairs.pairs(n, 6, &mut rng);
+        let mut pairs = Vec::new();
+        for _ in 0..120 {
+            pairs.extend(distinct.iter().copied());
+        }
+        let sched = build_schedule(&sg, 2.0, &pairs);
+        (sg, sched)
+    }
+
+    fn all_dests(schedule: &Schedule) -> Vec<u32> {
+        let mut d: Vec<u32> = schedule
+            .injections
+            .iter()
+            .flat_map(|v| v.iter().map(|&(_, d)| d))
+            .collect();
+        d.sort_unstable();
+        d.dedup();
+        d
+    }
+
+    #[test]
+    fn balancing_achieves_high_throughput_with_slack() {
+        let (sg, sched) = setup(60, 3);
+        let dests = all_dests(&sched);
+        let mut router = BalancingRouter::new(
+            sg.len(),
+            &dests,
+            BalancingConfig {
+                threshold: 1.0,
+                gamma: 0.5,
+                capacity: 64,
+            },
+        );
+        let report = run_balancing_on_schedule(&mut router, &sched, 30);
+        assert!(report.opt_packets > 0);
+        assert!(
+            report.throughput_ratio() > 0.5,
+            "throughput ratio {} too low",
+            report.throughput_ratio()
+        );
+        assert!(router.conserved());
+    }
+
+    #[test]
+    fn more_repeats_never_decrease_throughput() {
+        let (sg, sched) = setup(40, 7);
+        let dests = all_dests(&sched);
+        let cfg = BalancingConfig {
+            threshold: 1.0,
+            gamma: 0.5,
+            capacity: 64,
+        };
+        let mut r1 = BalancingRouter::new(sg.len(), &dests, cfg);
+        let mut r2 = BalancingRouter::new(sg.len(), &dests, cfg);
+        let t1 = run_balancing_on_schedule(&mut r1, &sched, 2).throughput_ratio();
+        let t2 = run_balancing_on_schedule(&mut r2, &sched, 20).throughput_ratio();
+        assert!(t2 >= t1 - 1e-12, "t2={t2} < t1={t1}");
+    }
+
+    #[test]
+    fn greedy_runner_works() {
+        let (sg, sched) = setup(40, 9);
+        let dests = all_dests(&sched);
+        let mut router = GreedyRouter::new(&sg.energy_graph(2.0), &dests, 64);
+        let report = run_greedy_on_schedule(&mut router, &sched, 10);
+        assert!(report.alg.delivered > 0);
+        assert!(router.conserved());
+    }
+
+    #[test]
+    fn ratios_sane() {
+        let (sg, sched) = setup(40, 11);
+        let dests = all_dests(&sched);
+        let mut router = BalancingRouter::new(
+            sg.len(),
+            &dests,
+            BalancingConfig {
+                threshold: 1.0,
+                gamma: 0.5,
+                capacity: 64,
+            },
+        );
+        let report = run_balancing_on_schedule(&mut router, &sched, 10);
+        let t = report.throughput_ratio();
+        assert!((0.0..=1.0).contains(&t));
+        if let Some(c) = report.cost_ratio() {
+            assert!(c > 0.0);
+        }
+    }
+
+    #[test]
+    fn empty_schedule_trivially_competitive() {
+        let sched = Schedule::default();
+        let mut router = BalancingRouter::new(
+            4,
+            &[0],
+            BalancingConfig {
+                threshold: 0.0,
+                gamma: 0.0,
+                capacity: 4,
+            },
+        );
+        let report = run_balancing_on_schedule(&mut router, &sched, 3);
+        assert_eq!(report.throughput_ratio(), 1.0);
+        assert_eq!(report.alg.delivered, 0);
+    }
+}

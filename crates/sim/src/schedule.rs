@@ -1,0 +1,289 @@
+//! OPT-by-construction schedules (paper §3.1).
+//!
+//! The competitive statements compare an online algorithm against "a best
+//! possible routing algorithm" under the *same* sequence of edge
+//! activations and injections. Computing that optimum directly is NP-hard
+//! (§1), so the harness inverts the problem: it first **constructs** a
+//! feasible conflict-free schedule — packets routed along shortest
+//! energy paths, packed into *waves* of vertex-disjoint paths so that no
+//! two schedules ever share an edge or a node — and then presents exactly
+//! the schedule's edge activations and injections to the online
+//! algorithm. The schedule itself is a valid solution with buffer size
+//! `B = 1`, so its packet count, cost, and step count are exact lower
+//! bounds on OPT; measured competitive ratios are therefore conservative.
+
+use adhoc_graph::{dijkstra, NodeId};
+use adhoc_proximity::SpatialGraph;
+use serde::{Deserialize, Serialize};
+
+/// One packet movement in the reference schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScheduledHop {
+    pub from: NodeId,
+    pub to: NodeId,
+    /// Final destination of the packet using this hop.
+    pub dest: NodeId,
+    /// Cost of the edge at this step.
+    pub cost: f64,
+}
+
+/// A feasible reference schedule.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Schedule {
+    /// Hops performed at each time step. Within one step all hops use
+    /// distinct edges and distinct nodes (vertex-disjointness).
+    pub steps: Vec<Vec<ScheduledHop>>,
+    /// Packets injected immediately before each step, as (source, dest).
+    pub injections: Vec<Vec<(NodeId, NodeId)>>,
+    /// Number of packets the schedule delivers.
+    pub packets: usize,
+    /// Total cost over all hops.
+    pub total_cost: f64,
+    /// Buffer size the schedule needs (always 1 for wave schedules).
+    pub opt_buffer: u32,
+    /// Total hops over all packets.
+    pub total_path_len: usize,
+}
+
+impl Schedule {
+    /// Number of time steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True iff the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Average path length `L̄` of scheduled packets.
+    pub fn l_bar(&self) -> f64 {
+        if self.packets == 0 {
+            0.0
+        } else {
+            self.total_path_len as f64 / self.packets as f64
+        }
+    }
+
+    /// Average cost `C̄` per scheduled packet.
+    pub fn c_bar(&self) -> f64 {
+        if self.packets == 0 {
+            0.0
+        } else {
+            self.total_cost / self.packets as f64
+        }
+    }
+
+    /// OPT's throughput: packets per step.
+    pub fn opt_throughput(&self) -> f64 {
+        if self.steps.is_empty() {
+            0.0
+        } else {
+            self.packets as f64 / self.steps.len() as f64
+        }
+    }
+
+    /// Validity check: within every step, no node appears in two hops.
+    pub fn is_conflict_free(&self) -> bool {
+        for step in &self.steps {
+            let mut seen = std::collections::HashSet::new();
+            for h in step {
+                if !seen.insert(h.from) || !seen.insert(h.to) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Build a wave schedule on `sg` for the given (source, dest) pairs,
+/// using `|uv|^κ` edge costs. Pairs whose endpoints are disconnected are
+/// skipped.
+pub fn build_schedule(sg: &SpatialGraph, kappa: f64, pairs: &[(NodeId, NodeId)]) -> Schedule {
+    build_schedule_on(&sg.energy_graph(kappa), pairs)
+}
+
+/// Build a wave schedule with **unit edge costs** (`c(e) = 1`), so
+/// `C̄ = L̄` exactly. The §3 cost model is abstract ("a cost ... that
+/// represents, for example, the energy usage"); unit costs give the
+/// cleanest instantiation of Theorem 3.1's parameters
+/// (`γ = (T + B + δ)` exactly) and are used by experiment E6.
+pub fn build_schedule_hops(sg: &SpatialGraph, pairs: &[(NodeId, NodeId)]) -> Schedule {
+    build_schedule_on(&sg.hop_graph(), pairs)
+}
+
+fn build_schedule_on(energy: &adhoc_graph::Graph, pairs: &[(NodeId, NodeId)]) -> Schedule {
+    let energy = energy.clone();
+
+    // Shortest energy path per pair (cache per distinct source).
+    let mut paths: Vec<(Vec<NodeId>, NodeId)> = Vec::new(); // (node path, dest)
+    let mut cache: std::collections::HashMap<NodeId, adhoc_graph::ShortestPaths> =
+        std::collections::HashMap::new();
+    for &(s, d) in pairs {
+        if s == d {
+            continue;
+        }
+        let sp = cache.entry(s).or_insert_with(|| dijkstra(&energy, s));
+        if let Some(p) = sp.path_to(d) {
+            paths.push((p, d));
+        }
+    }
+
+    // Greedy wave packing: a wave takes paths that are vertex-disjoint
+    // from every path already in the wave.
+    let mut schedule = Schedule {
+        opt_buffer: 1,
+        ..Default::default()
+    };
+    let mut remaining: Vec<usize> = (0..paths.len()).collect();
+    while !remaining.is_empty() {
+        let mut used_nodes = std::collections::HashSet::new();
+        let mut wave: Vec<usize> = Vec::new();
+        remaining.retain(|&i| {
+            let (p, _) = &paths[i];
+            if p.iter().any(|v| used_nodes.contains(v)) {
+                true // keep for a later wave
+            } else {
+                used_nodes.extend(p.iter().copied());
+                wave.push(i);
+                false
+            }
+        });
+        debug_assert!(!wave.is_empty());
+        let wave_len = wave.iter().map(|&i| paths[i].0.len() - 1).max().unwrap();
+        let base = schedule.steps.len();
+        schedule.steps.resize(base + wave_len, Vec::new());
+        schedule.injections.resize(base + wave_len, Vec::new());
+        for &i in &wave {
+            let (p, dest) = &paths[i];
+            schedule.injections[base].push((p[0], *dest));
+            schedule.packets += 1;
+            schedule.total_path_len += p.len() - 1;
+            for (k, w) in p.windows(2).enumerate() {
+                let cost = energy
+                    .edge_weight(w[0], w[1])
+                    .expect("path edge must exist");
+                schedule.steps[base + k].push(ScheduledHop {
+                    from: w[0],
+                    to: w[1],
+                    dest: *dest,
+                    cost,
+                });
+                schedule.total_cost += cost;
+            }
+        }
+    }
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::Workload;
+    use adhoc_geom::Point;
+    use adhoc_proximity::unit_disk_graph;
+    use rand::prelude::*;
+    use rand_chacha::ChaCha8Rng;
+
+    fn setup(n: usize, seed: u64) -> SpatialGraph {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let points: Vec<Point> = (0..n)
+            .map(|_| Point::new(rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect();
+        unit_disk_graph(&points, adhoc_geom::default_max_range(n))
+    }
+
+    #[test]
+    fn schedule_is_conflict_free() {
+        let sg = setup(80, 3);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let pairs = Workload::RandomPairs.pairs(80, 60, &mut rng);
+        let s = build_schedule(&sg, 2.0, &pairs);
+        assert!(s.packets > 0);
+        assert!(s.is_conflict_free());
+        assert_eq!(s.opt_buffer, 1);
+    }
+
+    #[test]
+    fn accounting_consistent() {
+        let sg = setup(60, 7);
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let pairs = Workload::RandomPairs.pairs(60, 40, &mut rng);
+        let s = build_schedule(&sg, 2.0, &pairs);
+        let hops: usize = s.steps.iter().map(|v| v.len()).sum();
+        assert_eq!(hops, s.total_path_len);
+        let injected: usize = s.injections.iter().map(|v| v.len()).sum();
+        assert_eq!(injected, s.packets);
+        let cost: f64 = s
+            .steps
+            .iter()
+            .flat_map(|v| v.iter())
+            .map(|h| h.cost)
+            .sum();
+        assert!((cost - s.total_cost).abs() < 1e-9);
+        assert!(s.l_bar() >= 1.0);
+        assert!(s.c_bar() > 0.0);
+        assert!(s.opt_throughput() > 0.0);
+    }
+
+    #[test]
+    fn every_packet_reaches_its_destination() {
+        // Replay the schedule literally and verify each injected packet's
+        // hop chain ends at its destination.
+        let sg = setup(50, 11);
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let pairs = Workload::RandomPairs.pairs(50, 30, &mut rng);
+        let s = build_schedule(&sg, 2.0, &pairs);
+        // Track one packet per (inject step, source): follow hops whose
+        // dest matches and that chain from the current node.
+        for (t0, injs) in s.injections.iter().enumerate() {
+            for &(src, dest) in injs {
+                let mut at = src;
+                let mut t = t0;
+                while at != dest {
+                    let hop = s.steps[t]
+                        .iter()
+                        .find(|h| h.from == at && h.dest == dest)
+                        .unwrap_or_else(|| panic!("no hop for packet at {at} step {t}"));
+                    at = hop.to;
+                    t += 1;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn self_pairs_and_unreachable_skipped() {
+        let points = vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.1, 0.0),
+            Point::new(9.0, 9.0), // isolated
+        ];
+        let sg = unit_disk_graph(&points, 0.5);
+        let s = build_schedule(&sg, 2.0, &[(0, 0), (0, 2), (0, 1)]);
+        assert_eq!(s.packets, 1); // only (0,1) is routable
+    }
+
+    #[test]
+    fn empty_pairs_empty_schedule() {
+        let sg = setup(20, 15);
+        let s = build_schedule(&sg, 2.0, &[]);
+        assert!(s.is_empty());
+        assert_eq!(s.packets, 0);
+        assert_eq!(s.l_bar(), 0.0);
+        assert_eq!(s.opt_throughput(), 0.0);
+    }
+
+    #[test]
+    fn waves_share_no_nodes_within_step() {
+        let sg = setup(100, 17);
+        let mut rng = ChaCha8Rng::seed_from_u64(19);
+        let pairs = Workload::Permutation.pairs(100, 100, &mut rng);
+        let s = build_schedule(&sg, 2.0, &pairs);
+        assert!(s.is_conflict_free());
+        // B = 1 feasibility: at any step, each node buffers at most one
+        // packet; conflict-freeness within steps plus wave construction
+        // guarantees it structurally.
+    }
+}

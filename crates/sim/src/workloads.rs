@@ -1,0 +1,158 @@
+//! Source/destination workload generators.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A communication workload: how source/destination pairs are drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Workload {
+    /// Independent uniform (source, destination) pairs, source ≠ dest.
+    RandomPairs,
+    /// A random permutation: node `i` sends to `π(i)` (each node is the
+    /// destination of exactly one source). Repeated cyclically if more
+    /// pairs are requested than nodes.
+    Permutation,
+    /// Everyone sends to one uniformly chosen sink (the anycast/gather
+    /// pattern of Awerbuch et al. that §3 generalizes).
+    SingleSink,
+    /// Bursty: sources drawn from one small random region (the first
+    /// ⌈n/8⌉ node ids), all toward one sink — maximal local contention.
+    Burst,
+}
+
+impl Workload {
+    /// Generate `count` (source, destination) pairs over `n` nodes.
+    ///
+    /// # Panics
+    /// Panics if `n < 2`.
+    pub fn pairs<R: Rng + ?Sized>(&self, n: usize, count: usize, rng: &mut R) -> Vec<(u32, u32)> {
+        assert!(n >= 2, "workloads need at least two nodes");
+        match self {
+            Workload::RandomPairs => (0..count)
+                .map(|_| {
+                    let s = rng.gen_range(0..n as u32);
+                    let mut d = rng.gen_range(0..n as u32 - 1);
+                    if d >= s {
+                        d += 1;
+                    }
+                    (s, d)
+                })
+                .collect(),
+            Workload::Permutation => {
+                let mut perm: Vec<u32> = (0..n as u32).collect();
+                loop {
+                    perm.shuffle(rng);
+                    // re-shuffle until derangement-ish: no fixed point
+                    if perm.iter().enumerate().all(|(i, &p)| p != i as u32) {
+                        break;
+                    }
+                }
+                (0..count).map(|i| (i as u32 % n as u32, perm[i % n])).collect()
+            }
+            Workload::SingleSink => {
+                let sink = rng.gen_range(0..n as u32);
+                (0..count)
+                    .map(|_| {
+                        let mut s = rng.gen_range(0..n as u32 - 1);
+                        if s >= sink {
+                            s += 1;
+                        }
+                        (s, sink)
+                    })
+                    .collect()
+            }
+            Workload::Burst => {
+                let sink = rng.gen_range(0..n as u32);
+                let region = (n as u32 / 8).max(1);
+                (0..count)
+                    .map(|_| {
+                        let mut s = rng.gen_range(0..region);
+                        if s == sink {
+                            s = (s + 1) % n as u32;
+                        }
+                        (s, sink)
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Short label for report tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Workload::RandomPairs => "random-pairs",
+            Workload::Permutation => "permutation",
+            Workload::SingleSink => "single-sink",
+            Workload::Burst => "burst",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(3)
+    }
+
+    #[test]
+    fn no_self_pairs_anywhere() {
+        for w in [
+            Workload::RandomPairs,
+            Workload::Permutation,
+            Workload::SingleSink,
+            Workload::Burst,
+        ] {
+            let pairs = w.pairs(16, 200, &mut rng());
+            assert_eq!(pairs.len(), 200, "{w:?}");
+            for &(s, d) in &pairs {
+                assert_ne!(s, d, "{w:?} produced a self-pair");
+                assert!(s < 16 && d < 16);
+            }
+        }
+    }
+
+    #[test]
+    fn permutation_is_a_bijection_per_cycle() {
+        let pairs = Workload::Permutation.pairs(10, 10, &mut rng());
+        let mut dests: Vec<u32> = pairs.iter().map(|&(_, d)| d).collect();
+        dests.sort_unstable();
+        dests.dedup();
+        assert_eq!(dests.len(), 10);
+    }
+
+    #[test]
+    fn single_sink_has_one_destination() {
+        let pairs = Workload::SingleSink.pairs(20, 50, &mut rng());
+        let d0 = pairs[0].1;
+        assert!(pairs.iter().all(|&(_, d)| d == d0));
+    }
+
+    #[test]
+    fn burst_sources_concentrated() {
+        let pairs = Workload::Burst.pairs(64, 100, &mut rng());
+        assert!(pairs.iter().all(|&(s, _)| s < 9)); // region = 64/8 = 8 (+1 dodge)
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = Workload::RandomPairs.pairs(32, 64, &mut rng());
+        let b = Workload::RandomPairs.pairs(32, 64, &mut rng());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn tiny_n_rejected() {
+        Workload::RandomPairs.pairs(1, 4, &mut rng());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Workload::Burst.label(), "burst");
+    }
+}

