@@ -20,7 +20,12 @@ fn bench(c: &mut Criterion) {
             let gamma: f64 = rng.gen_range(0.001..1.0);
             let a = Point::new(1.0, 0.0);
             let bb = Point::new(2.0 * gamma.cos(), 2.0 * gamma.sin());
-            black_box(lemma_2_3(a, bb, Point::new(0.0, 0.0), lemma_2_3_c_min(gamma) * 1.5))
+            black_box(lemma_2_3(
+                a,
+                bb,
+                Point::new(0.0, 0.0),
+                lemma_2_3_c_min(gamma) * 1.5,
+            ))
         });
     });
 

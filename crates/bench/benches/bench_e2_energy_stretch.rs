@@ -3,7 +3,7 @@
 //! construction. Table rows: `report -- e2`.
 
 use adhoc_bench::uniform_points;
-use adhoc_core::stretch::{sampled_energy_stretch};
+use adhoc_core::stretch::sampled_energy_stretch;
 use adhoc_core::{energy_stretch, ThetaAlg};
 use adhoc_proximity::{gabriel_graph, unit_disk_graph};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -25,33 +25,23 @@ fn bench(c: &mut Criterion) {
         });
         let sources: Vec<u32> = (0..n as u32).step_by(8).collect();
         g.bench_with_input(BenchmarkId::new("sampled", n), &n, |b, _| {
-            b.iter(|| {
-                black_box(sampled_energy_stretch(
-                    &topo.spatial,
-                    &gstar,
-                    2.0,
-                    &sources,
-                ))
-            });
+            b.iter(|| black_box(sampled_energy_stretch(&topo.spatial, &gstar, 2.0, &sources)));
         });
         g.bench_with_input(BenchmarkId::new("gabriel_baseline", n), &n, |b, _| {
             b.iter(|| black_box(gabriel_graph(&points, range)));
         });
         // κ sweep
         for kappa in [2.0f64, 4.0] {
-            g.bench_function(
-                BenchmarkId::new(format!("sampled_kappa_{kappa}"), n),
-                |b| {
-                    b.iter(|| {
-                        black_box(sampled_energy_stretch(
-                            &topo.spatial,
-                            &gstar,
-                            kappa,
-                            &sources,
-                        ))
-                    });
-                },
-            );
+            g.bench_function(BenchmarkId::new(format!("sampled_kappa_{kappa}"), n), |b| {
+                b.iter(|| {
+                    black_box(sampled_energy_stretch(
+                        &topo.spatial,
+                        &gstar,
+                        kappa,
+                        &sources,
+                    ))
+                });
+            });
         }
     }
     g.finish();

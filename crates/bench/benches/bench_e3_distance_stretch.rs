@@ -40,9 +40,7 @@ fn bench(c: &mut Criterion) {
             g.bench_function(
                 BenchmarkId::new(format!("distance_stretch_{label}"), n),
                 |b| {
-                    b.iter(|| {
-                        black_box(sampled_distance_stretch(&topo.spatial, &gstar, &sources))
-                    });
+                    b.iter(|| black_box(sampled_distance_stretch(&topo.spatial, &gstar, &sources)));
                 },
             );
         }

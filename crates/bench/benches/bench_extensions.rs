@@ -9,8 +9,7 @@ use adhoc_interference::model::Transmission;
 use adhoc_interference::{tdma_schedule, InterferenceModel, PowerPolicy, SinrModel};
 use adhoc_proximity::{beta_skeleton, delaunay_graph, unit_disk_graph};
 use adhoc_routing::{
-    ActiveEdge, AnycastRouter, BalancingConfig, GeoGreedyRouter, StaleBalancingRouter,
-    TracedRouter,
+    ActiveEdge, AnycastRouter, BalancingConfig, GeoGreedyRouter, StaleBalancingRouter, TracedRouter,
 };
 use adhoc_sim::emulation::emulate_on_theta;
 use adhoc_sim::workloads::Workload;
@@ -83,8 +82,9 @@ fn bench(c: &mut Criterion) {
         g.bench_function("sinr_batch_of_5", |b| {
             let mut rng = ChaCha8Rng::seed_from_u64(209);
             b.iter(|| {
-                let batch: Vec<Transmission> =
-                    (0..5).map(|_| edges[rng.gen_range(0..edges.len())]).collect();
+                let batch: Vec<Transmission> = (0..5)
+                    .map(|_| edges[rng.gen_range(0..edges.len())])
+                    .collect();
                 black_box(sinr.successful(&topo.spatial.points, &batch))
             });
         });

@@ -1,0 +1,80 @@
+//! Runtime bench (E20): the hardened ΘALG protocol and gossip-balancing
+//! over lossy links, at increasing loss rates — the cost of fault
+//! tolerance in retransmissions per run. Table rows: `report -- e20`.
+
+use adhoc_bench::uniform_points;
+use adhoc_core::ThetaAlg;
+use adhoc_routing::BalancingConfig;
+use adhoc_runtime::{
+    run_gossip_balancing, run_theta_protocol, uniform_workload, FaultConfig, GossipConfig,
+    ThetaTiming,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::f64::consts::FRAC_PI_3;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runtime_faults");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.sample_size(10);
+
+    let n = 120;
+    let points = uniform_points(n, 23);
+    let range = adhoc_geom::default_max_range(n);
+    let alg = ThetaAlg::new(FRAC_PI_3, range);
+
+    for loss in [0.0f64, 0.1, 0.2] {
+        g.bench_with_input(
+            BenchmarkId::new("theta_protocol", format!("loss={loss}")),
+            &loss,
+            |b, &loss| {
+                b.iter(|| {
+                    black_box(run_theta_protocol(
+                        &points,
+                        alg.sectors(),
+                        range,
+                        ThetaTiming::default(),
+                        FaultConfig::lossy(loss),
+                        7,
+                    ))
+                });
+            },
+        );
+    }
+
+    let topo = alg.build(&points);
+    let dests = [0u32];
+    let steps = 500u64;
+    let workload = uniform_workload(n, &dests, steps, 2, 31);
+    let cfg = GossipConfig::new(
+        BalancingConfig {
+            threshold: 0.5,
+            gamma: 0.1,
+            capacity: 40,
+        },
+        steps,
+    );
+    for loss in [0.0f64, 0.2] {
+        g.bench_with_input(
+            BenchmarkId::new("gossip_balancing", format!("loss={loss}")),
+            &loss,
+            |b, &loss| {
+                b.iter(|| {
+                    black_box(run_gossip_balancing(
+                        &topo.spatial,
+                        &dests,
+                        cfg,
+                        &workload,
+                        FaultConfig::lossy(loss),
+                        7,
+                    ))
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -129,11 +129,7 @@ impl ProtocolStats {
 
 /// Execute the three protocol rounds and return the resulting topology
 /// `𝒩` (Euclidean edge weights).
-pub fn run_local_protocol(
-    points: &[Point],
-    sectors: SectorPartition,
-    range: f64,
-) -> SpatialGraph {
+pub fn run_local_protocol(points: &[Point], sectors: SectorPartition, range: f64) -> SpatialGraph {
     run_local_protocol_with_stats(points, sectors, range).0
 }
 
@@ -219,7 +215,10 @@ pub fn run_local_protocol_with_stats(
         }
     }
 
-    (SpatialGraph::new(points.to_vec(), builder.build(), range), stats)
+    (
+        SpatialGraph::new(points.to_vec(), builder.build(), range),
+        stats,
+    )
 }
 
 #[cfg(test)]

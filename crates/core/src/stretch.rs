@@ -31,7 +31,11 @@ pub fn sampled_energy_stretch(
     kappa: f64,
     sources: &[NodeId],
 ) -> StretchStats {
-    sampled_stretch(&topo.energy_graph(kappa), &gstar.energy_graph(kappa), sources)
+    sampled_stretch(
+        &topo.energy_graph(kappa),
+        &gstar.energy_graph(kappa),
+        sources,
+    )
 }
 
 /// Distance-stretch estimated from a subset of source nodes.
@@ -72,7 +76,11 @@ mod tests {
         let st = energy_stretch(&topo.spatial, &gstar, 2.0);
         assert!(st.connectivity_preserved());
         assert!(st.max >= 1.0 - 1e-9);
-        assert!(st.max < 4.0, "energy stretch unexpectedly large: {}", st.max);
+        assert!(
+            st.max < 4.0,
+            "energy stretch unexpectedly large: {}",
+            st.max
+        );
     }
 
     #[test]

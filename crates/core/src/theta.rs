@@ -297,8 +297,15 @@ mod tests {
         let topo = ThetaAlg::new(FRAC_PI_3, 0.5).build(&points);
         for u in 0..points.len() as NodeId {
             for &(s, v) in topo.admitted_in(u) {
-                assert!(topo.is_nearest_choice(v, u), "({v}→{u}) admitted but not offered");
-                assert_eq!(topo.sectors.sector_of(points[u as usize], points[v as usize]), s);
+                assert!(
+                    topo.is_nearest_choice(v, u),
+                    "({v}→{u}) admitted but not offered"
+                );
+                assert_eq!(
+                    topo.sectors
+                        .sector_of(points[u as usize], points[v as usize]),
+                    s
+                );
             }
         }
     }
@@ -319,7 +326,11 @@ mod tests {
             for &(s, v) in topo.admitted_in(u) {
                 // No other offer in sector s may be strictly shorter.
                 for &w in &offers[u as usize] {
-                    if topo.sectors.sector_of(points[u as usize], points[w as usize]) == s {
+                    if topo
+                        .sectors
+                        .sector_of(points[u as usize], points[w as usize])
+                        == s
+                    {
                         let dv = points[u as usize].dist_sq(points[v as usize]);
                         let dw = points[u as usize].dist_sq(points[w as usize]);
                         assert!(

@@ -188,12 +188,7 @@ mod tests {
             .collect()
     }
 
-    fn check_walk(
-        topo: &ThetaTopology,
-        u: NodeId,
-        v: NodeId,
-        path: &[(NodeId, NodeId)],
-    ) {
+    fn check_walk(topo: &ThetaTopology, u: NodeId, v: NodeId, path: &[(NodeId, NodeId)]) {
         // Walk property: consecutive hops chain, endpoints match, every
         // hop is an 𝒩 edge.
         assert_eq!(path.first().map(|e| e.0), Some(u));
@@ -263,7 +258,11 @@ mod tests {
 
     #[test]
     fn out_of_range_pair_rejected() {
-        let points = vec![Point::new(0.0, 0.0), Point::new(5.0, 0.0), Point::new(2.5, 0.1)];
+        let points = vec![
+            Point::new(0.0, 0.0),
+            Point::new(5.0, 0.0),
+            Point::new(2.5, 0.1),
+        ];
         let topo = ThetaAlg::new(FRAC_PI_3, 1.0).build(&points);
         assert_eq!(
             replace_edge(&topo, 0, 1),

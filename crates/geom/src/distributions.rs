@@ -60,7 +60,10 @@ impl std::fmt::Display for SampleError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SampleError::PackingTooDense => {
-                write!(f, "cannot place that many λ-separated points in the unit square")
+                write!(
+                    f,
+                    "cannot place that many λ-separated points in the unit square"
+                )
             }
         }
     }
@@ -70,7 +73,11 @@ impl std::error::Error for SampleError {}
 
 impl NodeDistribution {
     /// Sample `n` points. Deterministic given the RNG state.
-    pub fn sample<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Result<Vec<Point>, SampleError> {
+    pub fn sample<R: Rng + ?Sized>(
+        &self,
+        n: usize,
+        rng: &mut R,
+    ) -> Result<Vec<Point>, SampleError> {
         match *self {
             NodeDistribution::UniformSquare { side } => Ok((0..n)
                 .map(|_| Point::new(rng.gen::<f64>() * side, rng.gen::<f64>() * side))
@@ -238,7 +245,9 @@ mod tests {
         let a = d.sample(100, &mut rng(1)).unwrap();
         let b = d.sample(100, &mut rng(1)).unwrap();
         assert_eq!(a, b);
-        assert!(a.iter().all(|p| (0.0..=2.0).contains(&p.x) && (0.0..=2.0).contains(&p.y)));
+        assert!(a
+            .iter()
+            .all(|p| (0.0..=2.0).contains(&p.x) && (0.0..=2.0).contains(&p.y)));
     }
 
     #[test]
@@ -251,7 +260,10 @@ mod tests {
 
     #[test]
     fn clustered_centers_count() {
-        let d = NodeDistribution::Clustered { clusters: 4, sigma: 0.01 };
+        let d = NodeDistribution::Clustered {
+            clusters: 4,
+            sigma: 0.01,
+        };
         let pts = d.sample(200, &mut rng(3)).unwrap();
         assert_eq!(pts.len(), 200);
         // With tiny sigma, points form 4 tight groups: check pairwise
@@ -291,7 +303,10 @@ mod tests {
 
     #[test]
     fn exponential_chain_gaps_grow() {
-        let d = NodeDistribution::ExponentialChain { base: 1.0, growth: 2.0 };
+        let d = NodeDistribution::ExponentialChain {
+            base: 1.0,
+            growth: 2.0,
+        };
         let pts = d.sample(5, &mut rng(7)).unwrap();
         let gaps: Vec<f64> = pts.windows(2).map(|w| w[1].x - w[0].x).collect();
         assert_eq!(gaps, vec![1.0, 2.0, 4.0, 8.0]);

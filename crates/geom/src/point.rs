@@ -395,8 +395,10 @@ mod tests {
         for k in 0..16 {
             let a = k as f64 * (TAU_LOCAL / 16.0);
             let v = Vec2::from_angle(a);
-            assert!((crate::angle::normalize_angle(v.angle() - a)).abs() < 1e-9
-                || (crate::angle::normalize_angle(v.angle() - a) - TAU_LOCAL).abs() < 1e-9);
+            assert!(
+                (crate::angle::normalize_angle(v.angle() - a)).abs() < 1e-9
+                    || (crate::angle::normalize_angle(v.angle() - a) - TAU_LOCAL).abs() < 1e-9
+            );
         }
     }
 

@@ -107,7 +107,10 @@ pub fn dijkstra_bounded(g: &Graph, source: NodeId, limit: f64) -> ShortestPaths 
             if nd < dist[a.to as usize] && nd <= limit {
                 dist[a.to as usize] = nd;
                 parent[a.to as usize] = u;
-                heap.push(HeapItem { dist: nd, node: a.to });
+                heap.push(HeapItem {
+                    dist: nd,
+                    node: a.to,
+                });
             }
         }
     }
@@ -202,6 +205,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // comparing parallel dist arrays by index
     fn matches_brute_force_on_random_graphs() {
         use rand::prelude::*;
         use rand_chacha::ChaCha8Rng;

@@ -76,14 +76,7 @@ impl FlowNetwork {
         (level[t as usize] >= 0).then_some(level)
     }
 
-    fn dfs_push(
-        &mut self,
-        u: u32,
-        t: u32,
-        pushed: f64,
-        level: &[i32],
-        it: &mut [usize],
-    ) -> f64 {
+    fn dfs_push(&mut self, u: u32, t: u32, pushed: f64, level: &[i32], it: &mut [usize]) -> f64 {
         if u == t {
             return pushed;
         }
@@ -231,9 +224,7 @@ mod tests {
                 }
                 let cut: f64 = edges
                     .iter()
-                    .filter(|&&(u, v, _)| {
-                        (mask >> u) & 1 != (mask >> v) & 1
-                    })
+                    .filter(|&&(u, v, _)| (mask >> u) & 1 != (mask >> v) & 1)
                     .map(|&(_, _, c)| c)
                     .sum();
                 best = best.min(cut);

@@ -197,13 +197,7 @@ impl GraphBuilder {
         }
         let offsets = counts.clone();
         let mut cursor = counts;
-        let mut adj = vec![
-            Adj {
-                to: 0,
-                weight: 0.0
-            };
-            2 * num_edges
-        ];
+        let mut adj = vec![Adj { to: 0, weight: 0.0 }; 2 * num_edges];
         for &(u, v, w) in &self.edges {
             adj[cursor[u as usize] as usize] = Adj { to: v, weight: w };
             cursor[u as usize] += 1;

@@ -44,6 +44,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // symmetric w[u][v]/w[v][u] fills read clearer indexed
     fn mst_weight_is_minimal_vs_bruteforce() {
         use rand::prelude::*;
         use rand_chacha::ChaCha8Rng;

@@ -200,7 +200,10 @@ mod tests {
         let trials = 6000;
         let mut hits = 0;
         for _ in 0..trials {
-            hits += mac.contest(&positions, &candidates, &mut rng).selected.len();
+            hits += mac
+                .contest(&positions, &candidates, &mut rng)
+                .selected
+                .len();
         }
         let p = hits as f64 / trials as f64;
         assert!((p - 1.0 / 6.0).abs() < 0.02, "p̂={p}");
@@ -242,8 +245,7 @@ mod tests {
                         let mut far = true;
                         for &x in &[me.link.a, me.link.b] {
                             for &y in &[other.link.a, other.link.b] {
-                                if positions[x as usize].dist(positions[y as usize])
-                                    <= 1.0 + delta
+                                if positions[x as usize].dist(positions[y as usize]) <= 1.0 + delta
                                 {
                                     far = false;
                                 }
@@ -257,7 +259,10 @@ mod tests {
         }
         assert!(contestant_events > 100);
         let p = clean as f64 / contestant_events as f64;
-        assert!(p >= 0.5, "P[no interfering selected contestant] = {p} < 1/2");
+        assert!(
+            p >= 0.5,
+            "P[no interfering selected contestant] = {p} < 1/2"
+        );
     }
 
     #[test]

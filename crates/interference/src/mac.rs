@@ -48,11 +48,7 @@ impl RandomizedMac {
                 .iter()
                 .map(|s| {
                     let own = s.len();
-                    let nb = s
-                        .iter()
-                        .map(|&f| sets[f as usize].len())
-                        .max()
-                        .unwrap_or(0);
+                    let nb = s.iter().map(|&f| sets[f as usize].len()).max().unwrap_or(0);
                     own.max(nb).max(1)
                 })
                 .collect(),
@@ -185,7 +181,10 @@ mod tests {
             }
             assert!(active_count > 0, "sampling produced no activations");
             let p = conflicted as f64 / active_count as f64;
-            assert!(p <= 0.55, "{rule:?}: empirical conflict probability {p} > 1/2");
+            assert!(
+                p <= 0.55,
+                "{rule:?}: empirical conflict probability {p} > 1/2"
+            );
         }
     }
 

@@ -137,6 +137,7 @@ mod tests {
             .collect()
     }
 
+    #[allow(clippy::needless_range_loop)] // paired i/j index walk is the point
     fn naive_sets(sg: &SpatialGraph, model: InterferenceModel) -> Vec<Vec<u32>> {
         let el = EdgeList::from_spatial(sg);
         let m = el.len();
@@ -185,10 +186,7 @@ mod tests {
         let (_, sets) = interference_sets(&sg, InterferenceModel::new(0.5));
         for (e, s) in sets.iter().enumerate() {
             for &f in s {
-                assert!(
-                    sets[f as usize].contains(&(e as u32)),
-                    "I({f}) missing {e}"
-                );
+                assert!(sets[f as usize].contains(&(e as u32)), "I({f}) missing {e}");
             }
         }
     }

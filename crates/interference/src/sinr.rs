@@ -294,11 +294,8 @@ mod tests {
             noise: 1e-6,
             power: PowerPolicy::MinimumPlusMargin(4.0),
         };
-        let report = sinr.disagreement_with_protocol(
-            &positions,
-            &batches,
-            InterferenceModel::new(1.5),
-        );
+        let report =
+            sinr.disagreement_with_protocol(&positions, &batches, InterferenceModel::new(1.5));
         assert!(report.total > 100);
         assert!(
             report.optimism_rate() < 0.1,

@@ -53,10 +53,9 @@ pub fn tdma_schedule(sg: &SpatialGraph, model: InterferenceModel) -> TdmaSchedul
         used.resize(frame_length as usize + 1, false);
         for &f in &sets[e as usize] {
             let s = slot[f as usize];
-            if s != u32::MAX
-                && (s as usize) < used.len() {
-                    used[s as usize] = true;
-                }
+            if s != u32::MAX && (s as usize) < used.len() {
+                used[s as usize] = true;
+            }
         }
         let s = used.iter().position(|&u| !u).unwrap() as u32;
         slot[e as usize] = s;

@@ -39,8 +39,7 @@ fn in_circumcircle(a: Point, b: Point, c: Point, p: Point) -> bool {
     let (ax, ay) = (a.x - p.x, a.y - p.y);
     let (bx, by) = (b.x - p.x, b.y - p.y);
     let (cx, cy) = (c.x - p.x, c.y - p.y);
-    let det = (ax * ax + ay * ay) * (bx * cy - cx * by)
-        - (bx * bx + by * by) * (ax * cy - cx * ay)
+    let det = (ax * ax + ay * ay) * (bx * cy - cx * by) - (bx * bx + by * by) * (ax * cy - cx * ay)
         + (cx * cx + cy * cy) * (ax * by - bx * ay);
     det > 0.0
 }
@@ -108,9 +107,9 @@ pub fn delaunay_edges(points: &[Point]) -> Vec<(u32, u32)> {
             for (a, b) in tris[k].edges() {
                 // An edge is shared iff the reversed edge occurs in some
                 // other bad triangle.
-                let shared = bad.iter().any(|&k2| {
-                    k2 != k && tris[k2].edges().iter().any(|&(c, d)| c == b && d == a)
-                });
+                let shared = bad
+                    .iter()
+                    .any(|&k2| k2 != k && tris[k2].edges().iter().any(|&(c, d)| c == b && d == a));
                 if !shared {
                     boundary.push((a, b));
                 }
@@ -188,6 +187,7 @@ mod tests {
     /// O(n⁴) oracle: (u,v) is Delaunay iff some circle through u, v is
     /// empty. For points in general position it suffices to check circles
     /// through (u, v, w) for all w plus the diametral circle.
+    #[allow(clippy::needless_range_loop)] // index-based witness search over point ids
     fn is_delaunay_edge_oracle(points: &[Point], u: usize, v: usize) -> bool {
         let n = points.len();
         // diametral circle empty?
@@ -288,7 +288,10 @@ mod tests {
         let gg = crate::gabriel::gabriel_graph(&points, 10.0);
         let del = delaunay_graph(&points);
         for (u, v, _) in gg.graph.edges() {
-            assert!(del.graph.has_edge(u, v), "Gabriel edge ({u},{v}) not Delaunay");
+            assert!(
+                del.graph.has_edge(u, v),
+                "Gabriel edge ({u},{v}) not Delaunay"
+            );
         }
     }
 

@@ -72,8 +72,7 @@ mod tests {
                 }
                 let mid = points[u].midpoint(points[v]);
                 let r = 0.5 * points[u].dist(points[v]);
-                let blocked = (0..n)
-                    .any(|w| w != u && w != v && points[w].in_open_disk(mid, r));
+                let blocked = (0..n).any(|w| w != u && w != v && points[w].in_open_disk(mid, r));
                 if !blocked {
                     edges.push((u as u32, v as u32));
                 }

@@ -82,7 +82,10 @@ mod tests {
             assert!(gg.graph.has_edge(u, v), "RNG edge ({u},{v}) not in Gabriel");
         }
         for (u, v, _) in gg.graph.edges() {
-            assert!(udg.graph.has_edge(u, v), "Gabriel edge ({u},{v}) not in UDG");
+            assert!(
+                udg.graph.has_edge(u, v),
+                "Gabriel edge ({u},{v}) not in UDG"
+            );
         }
     }
 

@@ -69,7 +69,10 @@ mod tests {
                     continue;
                 }
                 let blocked = (0..n).any(|w| {
-                    w != u && w != v && points[w].dist(points[u]) < d && points[w].dist(points[v]) < d
+                    w != u
+                        && w != v
+                        && points[w].dist(points[u]) < d
+                        && points[w].dist(points[v]) < d
                 });
                 if !blocked {
                     edges.push((u as u32, v as u32));

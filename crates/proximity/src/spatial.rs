@@ -59,9 +59,8 @@ impl SpatialGraph {
     pub fn energy_graph(&self, kappa: f64) -> Graph {
         assert!(kappa >= 1.0, "κ must be ≥ 1, got {kappa}");
         let pts = &self.points;
-        self.graph.map_weights(|u, v, _| {
-            pts[u as usize].energy_cost(pts[v as usize], kappa)
-        })
+        self.graph
+            .map_weights(|u, v, _| pts[u as usize].energy_cost(pts[v as usize], kappa))
     }
 
     /// The same topology re-weighted with unit (hop-count) weights.
@@ -71,10 +70,7 @@ impl SpatialGraph {
 
     /// Longest edge in the topology (0.0 if there are no edges).
     pub fn max_edge_len(&self) -> f64 {
-        self.graph
-            .edges()
-            .map(|(_, _, w)| w)
-            .fold(0.0f64, f64::max)
+        self.graph.edges().map(|(_, _, w)| w).fold(0.0f64, f64::max)
     }
 
     /// Shortest edge in the topology (`None` if there are no edges).
@@ -120,7 +116,7 @@ mod tests {
         assert_eq!(e2.edge_weight(0, 1), Some(1.0));
         let e4 = sg.energy_graph(4.0);
         assert_eq!(e4.edge_weight(1, 2), Some(1.0)); // unit edges unchanged
-        // Non-unit edge scales
+                                                     // Non-unit edge scales
         let points = vec![Point::new(0.0, 0.0), Point::new(2.0, 0.0)];
         let mut b = GraphBuilder::new(2);
         b.add_edge(0, 1, 2.0);

@@ -124,7 +124,11 @@ impl BalancingRouter {
             } else {
                 self.bank.heights_at(from)[col]
             };
-            let hw = if to == d { 0 } else { self.bank.heights_at(to)[col] };
+            let hw = if to == d {
+                0
+            } else {
+                self.bank.heights_at(to)[col]
+            };
             let value = hv as f64 - hw as f64 - cost * self.cfg.gamma;
             if value > self.cfg.threshold && best.is_none_or(|(bv, _)| value > bv) {
                 best = Some((value, d));
@@ -185,7 +189,12 @@ impl BalancingRouter {
     /// decreases Φ, so bounded Φ certifies stability under feasible load.
     pub fn potential(&self) -> f64 {
         (0..self.bank.num_nodes() as u32)
-            .flat_map(|v| self.bank.heights_at(v).iter().map(|&h| (h as f64) * (h as f64)))
+            .flat_map(|v| {
+                self.bank
+                    .heights_at(v)
+                    .iter()
+                    .map(|&h| (h as f64) * (h as f64))
+            })
             .sum()
     }
 }

@@ -34,7 +34,10 @@ impl BufferBank {
         let mut dest_col = vec![u16::MAX; num_nodes];
         for (i, &d) in dests.iter().enumerate() {
             assert!((d as usize) < num_nodes, "destination {d} out of range");
-            assert!(dest_col[d as usize] == u16::MAX, "duplicate destination {d}");
+            assert!(
+                dest_col[d as usize] == u16::MAX,
+                "duplicate destination {d}"
+            );
             dest_col[d as usize] = i as u16;
         }
         BufferBank {

@@ -137,7 +137,9 @@ mod tests {
     use super::*;
 
     fn line(n: usize, spacing: f64) -> Vec<Point> {
-        (0..n).map(|i| Point::new(spacing * i as f64, 0.0)).collect()
+        (0..n)
+            .map(|i| Point::new(spacing * i as f64, 0.0))
+            .collect()
     }
 
     fn chain_edges(n: usize) -> Vec<ActiveEdge> {

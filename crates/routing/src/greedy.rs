@@ -157,7 +157,10 @@ mod tests {
         let g = diamond();
         let mut r = GreedyRouter::new(&g, &[2], 10);
         r.inject(0, 2);
-        let edges: Vec<ActiveEdge> = g.edges().map(|(u, v, w)| ActiveEdge::new(u, v, w)).collect();
+        let edges: Vec<ActiveEdge> = g
+            .edges()
+            .map(|(u, v, w)| ActiveEdge::new(u, v, w))
+            .collect();
         r.step(&edges);
         r.step(&edges);
         let m = r.metrics();

@@ -332,12 +332,7 @@ mod tests {
         }
         assert_ne!(g.hex_of(a), g.hex_of(b), "failed to find straddling pair");
         // Receivers 0.9 beyond each sender, pointing away from each other.
-        let positions = vec![
-            a,
-            Point::new(a.x - 0.9, a.y),
-            b,
-            Point::new(b.x + 0.9, b.y),
-        ];
+        let positions = vec![a, Point::new(a.x - 0.9, a.y), b, Point::new(b.x + 0.9, b.y)];
         let mut r = HoneycombRouter::new(
             &positions,
             &[1, 3],

@@ -88,8 +88,16 @@ impl StaleBalancingRouter {
             for (from, to) in [(e.u, e.v), (e.v, e.u)] {
                 let mut best: Option<(f64, u32)> = None;
                 for (col, &d) in dests.iter().enumerate() {
-                    let hv = if from == d { 0 } else { self.snap_height(from, col) };
-                    let hw = if to == d { 0 } else { self.snap_height(to, col) };
+                    let hv = if from == d {
+                        0
+                    } else {
+                        self.snap_height(from, col)
+                    };
+                    let hw = if to == d {
+                        0
+                    } else {
+                        self.snap_height(to, col)
+                    };
                     let value = hv as f64 - hw as f64 - e.cost * cfg.gamma;
                     if value > cfg.threshold && best.is_none_or(|(bv, _)| value > bv) {
                         best = Some((value, d));

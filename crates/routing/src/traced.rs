@@ -243,11 +243,15 @@ mod tests {
 
     #[test]
     fn drops_and_instant_delivery() {
-        let mut r = TracedRouter::new(2, &[1], BalancingConfig {
-            threshold: 0.0,
-            gamma: 0.0,
-            capacity: 1,
-        });
+        let mut r = TracedRouter::new(
+            2,
+            &[1],
+            BalancingConfig {
+                threshold: 0.0,
+                gamma: 0.0,
+                capacity: 1,
+            },
+        );
         assert!(r.inject(0, 1).is_some());
         assert!(r.inject(0, 1).is_none()); // dropped, full
         assert!(r.inject(1, 1).is_none()); // instant delivery

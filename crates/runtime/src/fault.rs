@@ -1,0 +1,205 @@
+//! Link fault models: loss, delay, duplication, reordering.
+//!
+//! Every transmission passes through [`FaultConfig::transmit`], which
+//! consults the runtime's seeded RNG in a fixed order — so an identical
+//! seed reproduces the identical fault pattern, event for event. Random
+//! per-copy delays provide reordering for free: two messages sent
+//! back-to-back on the same link may arrive swapped whenever the delay
+//! distribution has positive width.
+
+use rand::Rng;
+
+/// Per-copy delivery latency distribution, in virtual ticks. Sampled
+/// delays are clamped to ≥ 1 so a message never arrives in the tick it
+/// was sent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DelayDist {
+    /// Every copy takes exactly this many ticks.
+    Fixed(u64),
+    /// Uniform in `[min, max]` (inclusive); `max ≥ min` required.
+    Uniform {
+        /// Minimum latency.
+        min: u64,
+        /// Maximum latency.
+        max: u64,
+    },
+}
+
+impl DelayDist {
+    /// Sample one latency (always ≥ 1).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        match *self {
+            DelayDist::Fixed(d) => d.max(1),
+            DelayDist::Uniform { min, max } => {
+                assert!(max >= min, "DelayDist::Uniform requires max ≥ min");
+                rng.gen_range(min..=max).max(1)
+            }
+        }
+    }
+
+    /// Largest latency this distribution can produce.
+    pub fn max_delay(&self) -> u64 {
+        match *self {
+            DelayDist::Fixed(d) => d.max(1),
+            DelayDist::Uniform { max, .. } => max.max(1),
+        }
+    }
+}
+
+/// Fault model applied independently to every link-level transmission.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Probability a transmission is silently lost.
+    pub drop_prob: f64,
+    /// Probability a *delivered* transmission arrives twice (with
+    /// independently sampled delays).
+    pub duplicate_prob: f64,
+    /// Latency distribution of each delivered copy.
+    pub delay: DelayDist,
+}
+
+impl Default for FaultConfig {
+    /// The ideal network: no loss, no duplication, unit latency.
+    fn default() -> Self {
+        FaultConfig {
+            drop_prob: 0.0,
+            duplicate_prob: 0.0,
+            delay: DelayDist::Fixed(1),
+        }
+    }
+}
+
+impl FaultConfig {
+    /// Ideal lossless unit-latency links.
+    pub fn ideal() -> Self {
+        Self::default()
+    }
+
+    /// Lossy links: drop probability `p`, unit latency, no duplication.
+    pub fn lossy(p: f64) -> Self {
+        FaultConfig {
+            drop_prob: p,
+            ..Self::default()
+        }
+    }
+
+    /// Validate probabilities; panics on values outside `[0, 1]`.
+    pub fn validate(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.drop_prob),
+            "drop_prob must be in [0,1], got {}",
+            self.drop_prob
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.duplicate_prob),
+            "duplicate_prob must be in [0,1], got {}",
+            self.duplicate_prob
+        );
+    }
+
+    /// Decide the fate of one transmission: the arrival delays of each
+    /// delivered copy (empty = dropped, two entries = duplicated). RNG
+    /// consumption order is fixed: drop coin, then delay, then duplicate
+    /// coin, then the duplicate's delay.
+    pub fn transmit<R: Rng + ?Sized>(&self, rng: &mut R) -> TransmitOutcome {
+        if self.drop_prob > 0.0 && rng.gen_bool(self.drop_prob) {
+            return TransmitOutcome::Dropped;
+        }
+        let first = self.delay.sample(rng);
+        if self.duplicate_prob > 0.0 && rng.gen_bool(self.duplicate_prob) {
+            let second = self.delay.sample(rng);
+            TransmitOutcome::Duplicated(first, second)
+        } else {
+            TransmitOutcome::Delivered(first)
+        }
+    }
+
+    /// Largest per-copy latency the model can produce (for sizing round
+    /// deadlines).
+    pub fn max_delay(&self) -> u64 {
+        self.delay.max_delay()
+    }
+}
+
+/// Fate of a single transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransmitOutcome {
+    /// Lost; nothing arrives.
+    Dropped,
+    /// One copy arrives after the given delay.
+    Delivered(u64),
+    /// Two copies arrive, after each delay respectively.
+    Duplicated(u64, u64),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn ideal_always_delivers_once() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let f = FaultConfig::ideal();
+        for _ in 0..100 {
+            assert_eq!(f.transmit(&mut rng), TransmitOutcome::Delivered(1));
+        }
+    }
+
+    #[test]
+    fn drop_rate_close_to_nominal() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let f = FaultConfig::lossy(0.3);
+        let n = 20_000;
+        let dropped = (0..n)
+            .filter(|_| f.transmit(&mut rng) == TransmitOutcome::Dropped)
+            .count();
+        let rate = dropped as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.02, "observed drop rate {rate}");
+    }
+
+    #[test]
+    fn duplication_produces_two_copies() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let f = FaultConfig {
+            duplicate_prob: 1.0,
+            ..FaultConfig::ideal()
+        };
+        assert!(matches!(
+            f.transmit(&mut rng),
+            TransmitOutcome::Duplicated(_, _)
+        ));
+    }
+
+    #[test]
+    fn uniform_delay_in_bounds_and_positive() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let d = DelayDist::Uniform { min: 0, max: 5 };
+        for _ in 0..1000 {
+            let s = d.sample(&mut rng);
+            assert!((1..=5).contains(&s));
+        }
+        assert_eq!(DelayDist::Fixed(0).sample(&mut rng), 1);
+    }
+
+    #[test]
+    fn same_seed_same_fates() {
+        let f = FaultConfig {
+            drop_prob: 0.2,
+            duplicate_prob: 0.1,
+            delay: DelayDist::Uniform { min: 1, max: 4 },
+        };
+        let run = || {
+            let mut rng = ChaCha8Rng::seed_from_u64(9);
+            (0..500).map(|_| f.transmit(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_probability_rejected() {
+        FaultConfig::lossy(1.5).validate();
+    }
+}

@@ -1,0 +1,550 @@
+//! The `(T, γ)`-balancing router as a distributed actor protocol with
+//! height gossip (paper §3.2 and its control-traffic remark).
+//!
+//! The centralized `BalancingRouter` (crate `adhoc-routing`) reads both
+//! endpoints' buffer heights when deciding a send. Distributed nodes
+//! cannot: they know their own column of the height matrix and whatever
+//! their neighbors last *gossiped*. This module makes that explicit:
+//!
+//! * every `refresh_every` routing steps a node sends a `Heights` message
+//!   to each topology neighbor (the `StaleBalancingRouter` ablation's
+//!   refresh period, now a real message that can be lost or delayed);
+//! * send decisions use the freshest cached neighbor heights;
+//! * data packets are `Packet` messages over the same faulty links —
+//!   sequence-numbered so duplicated deliveries are idempotent, and
+//!   accounted so lost packets are visible instead of silently vanishing.
+//!
+//! Conservation therefore holds in ledger form:
+//! `injected = absorbed + buffered + overflow_dropped + link_lost`,
+//! asserted by [`GossipRun::conserved`] after every run.
+
+use crate::fault::FaultConfig;
+use crate::node::{Actor, Ctx, Message};
+use crate::runtime::Runtime;
+use crate::stats::NetStats;
+use adhoc_proximity::SpatialGraph;
+use adhoc_routing::BalancingConfig;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use std::collections::{BTreeMap, HashSet};
+
+/// Timer id for the per-step tick.
+const TIMER_STEP: u32 = 1;
+
+/// Messages of the distributed balancing protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GossipMsg {
+    /// Height gossip: the sender's buffer heights, one per destination
+    /// (indexed like the shared destination list).
+    Heights(Vec<u32>),
+    /// One data packet bound for `dest`; `seq` is unique per sender so
+    /// receivers can discard duplicated deliveries.
+    Packet {
+        /// Final destination node.
+        dest: u32,
+        /// Sender-local sequence number.
+        seq: u32,
+    },
+}
+
+impl Message for GossipMsg {
+    fn kind(&self) -> &'static str {
+        match self {
+            GossipMsg::Heights(_) => "heights",
+            GossipMsg::Packet { .. } => "packet",
+        }
+    }
+}
+
+/// Parameters of a gossip-balancing run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GossipConfig {
+    /// The `(T, γ, H)` balancing parameters (shared with the centralized
+    /// router).
+    pub balancing: BalancingConfig,
+    /// Routing steps between height gossips; 1 = gossip every step
+    /// (the `StaleBalancingRouter` refresh-period knob as real traffic).
+    pub refresh_every: u64,
+    /// Number of routing steps to simulate.
+    pub steps: u64,
+    /// Virtual ticks per routing step; link delays shorter than this keep
+    /// gossip one step stale, longer delays increase staleness.
+    pub step_len: u64,
+}
+
+impl GossipConfig {
+    /// Sensible defaults: gossip every step, 8-tick steps.
+    pub fn new(balancing: BalancingConfig, steps: u64) -> Self {
+        GossipConfig {
+            balancing,
+            refresh_every: 1,
+            steps,
+            step_len: 8,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.refresh_every >= 1, "refresh_every must be ≥ 1");
+        assert!(self.step_len >= 2, "step_len must be ≥ 2");
+    }
+}
+
+/// One balancing node: its own height column, cached neighbor heights,
+/// and a dedup set for at-most-once packet accounting.
+#[derive(Debug, Clone)]
+pub struct GossipNode {
+    id: u32,
+    /// `(neighbor, edge cost)` pairs from the topology.
+    nbrs: Vec<(u32, f64)>,
+    dests: Vec<u32>,
+    /// Own buffer heights, one per destination.
+    heights: Vec<u32>,
+    /// Latest gossiped heights per neighbor.
+    cached: BTreeMap<u32, Vec<u32>>,
+    /// `(sender << 32) | seq` of every packet already accepted.
+    seen: HashSet<u64>,
+    /// Injections scheduled for this node: `(step, dest)`, sorted by step.
+    schedule: Vec<(u64, u32)>,
+    next_inj: usize,
+    cfg: GossipConfig,
+    step: u64,
+    seq: u32,
+    /// Local ledger.
+    counts: NodeCounts,
+}
+
+/// Per-node packet ledger.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeCounts {
+    /// Packets admitted at this node.
+    pub injected: u64,
+    /// Injections refused by admission control (full buffer).
+    pub admission_dropped: u64,
+    /// Packets absorbed here (this node was the destination).
+    pub absorbed: u64,
+    /// Packets arriving to a full buffer and discarded.
+    pub overflow_dropped: u64,
+    /// Packet transmissions originated here (each decrements a buffer).
+    pub packets_sent: u64,
+    /// Distinct packets accepted from neighbors (duplicates excluded).
+    pub packets_received: u64,
+    /// Height gossips sent.
+    pub gossips_sent: u64,
+}
+
+impl GossipNode {
+    fn col(&self, dest: u32) -> Option<usize> {
+        self.dests.iter().position(|&d| d == dest)
+    }
+
+    /// Inject one packet for `dest` (admission control applies).
+    fn inject(&mut self, dest: u32) {
+        if dest == self.id {
+            self.counts.injected += 1;
+            self.counts.absorbed += 1;
+            return;
+        }
+        let Some(c) = self.col(dest) else {
+            // Not a registered destination: refuse.
+            self.counts.admission_dropped += 1;
+            return;
+        };
+        if self.heights[c] < self.cfg.balancing.capacity {
+            self.heights[c] += 1;
+            self.counts.injected += 1;
+        } else {
+            self.counts.admission_dropped += 1;
+        }
+    }
+
+    /// The paper's step-1 rule for the directed edge `self → (w, cost)`,
+    /// using gossiped heights for `w`: the destination maximizing
+    /// `h_v,d − ĥ_w,d − c·γ` if that value exceeds `T` — and, since the
+    /// sender is authoritative for its own buffers, only if `h_v,d > 0`.
+    fn best_send(&self, w: u32, cost: f64) -> Option<usize> {
+        let cached = self.cached.get(&w);
+        let mut best: Option<(f64, usize)> = None;
+        for (c, &d) in self.dests.iter().enumerate() {
+            if self.heights[c] == 0 || d == self.id {
+                continue;
+            }
+            let hw = if w == d {
+                0
+            } else {
+                cached.map_or(0, |h| h[c])
+            };
+            let value = self.heights[c] as f64 - hw as f64 - cost * self.cfg.balancing.gamma;
+            if value > self.cfg.balancing.threshold && best.is_none_or(|(bv, _)| value > bv) {
+                best = Some((value, c));
+            }
+        }
+        best.map(|(_, c)| c)
+    }
+
+    /// Executed once per routing step: inject scheduled packets, gossip
+    /// heights if due, then decide one send per outgoing edge direction.
+    fn run_step(&mut self, ctx: &mut Ctx<GossipMsg>) {
+        while self.next_inj < self.schedule.len() && self.schedule[self.next_inj].0 == self.step {
+            let dest = self.schedule[self.next_inj].1;
+            self.next_inj += 1;
+            self.inject(dest);
+        }
+        if self.step.is_multiple_of(self.cfg.refresh_every) {
+            for &(w, _) in &self.nbrs {
+                ctx.send(w, GossipMsg::Heights(self.heights.clone()));
+                self.counts.gossips_sent += 1;
+            }
+        }
+        for i in 0..self.nbrs.len() {
+            let (w, cost) = self.nbrs[i];
+            if let Some(c) = self.best_send(w, cost) {
+                self.heights[c] -= 1;
+                self.counts.packets_sent += 1;
+                let seq = self.seq;
+                self.seq += 1;
+                ctx.send(
+                    w,
+                    GossipMsg::Packet {
+                        dest: self.dests[c],
+                        seq,
+                    },
+                );
+            }
+        }
+        self.step += 1;
+        if self.step < self.cfg.steps {
+            ctx.set_timer(self.cfg.step_len, TIMER_STEP);
+        }
+    }
+}
+
+impl Actor for GossipNode {
+    type Msg = GossipMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<GossipMsg>) {
+        if self.cfg.steps > 0 {
+            ctx.set_timer(self.cfg.step_len, TIMER_STEP);
+        }
+    }
+
+    fn on_message(&mut self, _ctx: &mut Ctx<GossipMsg>, from: u32, msg: GossipMsg) {
+        match msg {
+            GossipMsg::Heights(h) => {
+                self.cached.insert(from, h);
+            }
+            GossipMsg::Packet { dest, seq } => {
+                let key = ((from as u64) << 32) | seq as u64;
+                if !self.seen.insert(key) {
+                    return; // duplicated delivery
+                }
+                self.counts.packets_received += 1;
+                if dest == self.id {
+                    self.counts.absorbed += 1;
+                    return;
+                }
+                match self.col(dest) {
+                    Some(c) if self.heights[c] < self.cfg.balancing.capacity => {
+                        self.heights[c] += 1;
+                    }
+                    _ => self.counts.overflow_dropped += 1,
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<GossipMsg>, timer: u32) {
+        debug_assert_eq!(timer, TIMER_STEP);
+        self.run_step(ctx);
+    }
+}
+
+/// Ledger and counters of one gossip-balancing run.
+#[derive(Debug, Clone)]
+pub struct GossipRun {
+    /// Packets admitted across all nodes.
+    pub injected: u64,
+    /// Injections refused by admission control.
+    pub admission_dropped: u64,
+    /// Packets absorbed at their destinations.
+    pub absorbed: u64,
+    /// Packets discarded at full receive buffers.
+    pub overflow_dropped: u64,
+    /// Packets lost on the wire (fault model).
+    pub link_lost: u64,
+    /// Packets still buffered at the end of the run.
+    pub buffered: u64,
+    /// Packet transmissions attempted.
+    pub packets_sent: u64,
+    /// Height gossips sent.
+    pub gossips_sent: u64,
+    /// Runtime counters.
+    pub stats: NetStats,
+    /// Replay digest.
+    pub digest: u64,
+}
+
+impl GossipRun {
+    /// The ledger identity every run must satisfy.
+    pub fn conserved(&self) -> bool {
+        self.injected == self.absorbed + self.buffered + self.overflow_dropped + self.link_lost
+    }
+
+    /// Delivered fraction of admitted packets.
+    pub fn delivery_rate(&self) -> f64 {
+        if self.injected == 0 {
+            0.0
+        } else {
+            self.absorbed as f64 / self.injected as f64
+        }
+    }
+}
+
+/// A deterministic uniform workload: `per_step` packets per routing step,
+/// each from a uniform source to a uniform destination in `dests`.
+/// Returns `(step, source, dest)` triples.
+pub fn uniform_workload(
+    num_nodes: usize,
+    dests: &[u32],
+    steps: u64,
+    per_step: u32,
+    seed: u64,
+) -> Vec<(u64, u32, u32)> {
+    assert!(num_nodes > 0 && !dests.is_empty());
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut plan = Vec::with_capacity((steps * per_step as u64) as usize);
+    for step in 0..steps {
+        for _ in 0..per_step {
+            let src = rng.gen_range(0..num_nodes as u32);
+            let dest = dests[rng.gen_range(0..dests.len())];
+            plan.push((step, src, dest));
+        }
+    }
+    plan
+}
+
+/// Run distributed `(T, γ)`-balancing over `topology` with height gossip,
+/// routing the given workload (triples from e.g. [`uniform_workload`]).
+/// All edges of the topology are active every step; edge cost is
+/// Euclidean length.
+pub fn run_gossip_balancing(
+    topology: &SpatialGraph,
+    dests: &[u32],
+    cfg: GossipConfig,
+    workload: &[(u64, u32, u32)],
+    faults: FaultConfig,
+    seed: u64,
+) -> GossipRun {
+    cfg.validate();
+    faults.validate();
+    assert!(!dests.is_empty(), "need at least one destination");
+    let n = topology.len();
+    let mut schedules: Vec<Vec<(u64, u32)>> = vec![Vec::new(); n];
+    for &(step, src, dest) in workload {
+        schedules[src as usize].push((step, dest));
+    }
+    for s in schedules.iter_mut() {
+        s.sort_unstable_by_key(|&(step, _)| step);
+    }
+    let nodes: Vec<GossipNode> = (0..n as u32)
+        .map(|id| GossipNode {
+            id,
+            nbrs: topology
+                .graph
+                .neighbors(id)
+                .iter()
+                .map(|a| (a.to, a.weight))
+                .collect(),
+            dests: dests.to_vec(),
+            heights: vec![0; dests.len()],
+            cached: BTreeMap::new(),
+            seen: HashSet::new(),
+            schedule: std::mem::take(&mut schedules[id as usize]),
+            next_inj: 0,
+            cfg,
+            step: 0,
+            seq: 0,
+            counts: NodeCounts::default(),
+        })
+        .collect();
+
+    // The runtime's radio range only matters for broadcasts; this
+    // protocol is purely unicast over topology edges, so any positive
+    // range works.
+    let mut rt = Runtime::new(
+        nodes,
+        &topology.points,
+        topology.max_range.max(1e-9),
+        faults,
+        seed,
+    );
+    rt.start();
+    rt.run();
+
+    let mut run = GossipRun {
+        injected: 0,
+        admission_dropped: 0,
+        absorbed: 0,
+        overflow_dropped: 0,
+        link_lost: 0,
+        buffered: 0,
+        packets_sent: 0,
+        gossips_sent: 0,
+        stats: rt.stats().clone(),
+        digest: rt.transcript().digest(),
+    };
+    let mut received = 0u64;
+    for node in rt.nodes() {
+        let c = node.counts;
+        run.injected += c.injected;
+        run.admission_dropped += c.admission_dropped;
+        run.absorbed += c.absorbed;
+        run.overflow_dropped += c.overflow_dropped;
+        run.packets_sent += c.packets_sent;
+        run.gossips_sent += c.gossips_sent;
+        received += c.packets_received;
+        run.buffered += node.heights.iter().map(|&h| h as u64).sum::<u64>();
+    }
+    // The queue is drained, so every packet was either received once or
+    // lost on the wire (duplicates are deduped by receivers).
+    run.link_lost = run.packets_sent - received;
+    run
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adhoc_geom::Point;
+    use adhoc_graph::GraphBuilder;
+    use adhoc_routing::{ActiveEdge, BalancingRouter};
+
+    fn chain(n: usize) -> SpatialGraph {
+        let points: Vec<Point> = (0..n).map(|i| Point::new(i as f64 * 0.1, 0.0)).collect();
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n - 1 {
+            b.add_edge(i as u32, i as u32 + 1, 0.1);
+        }
+        SpatialGraph::new(points, b.build(), 0.15)
+    }
+
+    fn cfg(steps: u64) -> GossipConfig {
+        GossipConfig::new(
+            BalancingConfig {
+                threshold: 0.5,
+                gamma: 0.0,
+                capacity: 50,
+            },
+            steps,
+        )
+    }
+
+    #[test]
+    fn delivers_and_conserves_on_ideal_links() {
+        let topo = chain(4);
+        let wl = uniform_workload(4, &[3], 400, 1, 1);
+        let run = run_gossip_balancing(&topo, &[3], cfg(400), &wl, FaultConfig::ideal(), 1);
+        assert!(run.conserved(), "{run:?}");
+        assert_eq!(run.link_lost, 0);
+        assert_eq!(run.overflow_dropped, 0);
+        assert!(run.absorbed > 100, "absorbed only {}", run.absorbed);
+    }
+
+    #[test]
+    fn conserves_under_loss_and_duplication() {
+        let topo = chain(5);
+        let wl = uniform_workload(5, &[4], 300, 2, 2);
+        let faults = FaultConfig {
+            drop_prob: 0.2,
+            duplicate_prob: 0.15,
+            ..FaultConfig::ideal()
+        };
+        let run = run_gossip_balancing(&topo, &[4], cfg(300), &wl, faults, 3);
+        assert!(run.conserved(), "{run:?}");
+        assert!(run.link_lost > 0, "20% loss lost nothing?");
+        assert!(run.absorbed > 0);
+        assert!(run.stats.duplicated > 0);
+    }
+
+    #[test]
+    fn same_seed_identical_runs() {
+        let topo = chain(6);
+        let wl = uniform_workload(6, &[5], 200, 1, 7);
+        let faults = FaultConfig::lossy(0.1);
+        let go = |seed| run_gossip_balancing(&topo, &[5], cfg(200), &wl, faults, seed);
+        let (a, b) = (go(5), go(5));
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.absorbed, b.absorbed);
+        assert_eq!(a.stats, b.stats);
+        assert_ne!(go(6).digest, a.digest);
+    }
+
+    #[test]
+    fn refresh_knob_trades_control_traffic_for_throughput() {
+        let topo = chain(4);
+        let wl = uniform_workload(4, &[3], 600, 1, 4);
+        let go = |refresh| {
+            let mut c = cfg(600);
+            c.refresh_every = refresh;
+            run_gossip_balancing(&topo, &[3], c, &wl, FaultConfig::ideal(), 9)
+        };
+        let fresh = go(1);
+        let stale = go(10);
+        assert!(fresh.conserved() && stale.conserved());
+        // Control traffic scales inversely with the period...
+        assert!(stale.gossips_sent * 5 < fresh.gossips_sent);
+        // ...while delivery degrades gracefully, not catastrophically
+        // (mirrors StaleBalancingRouter's ablation test).
+        assert!(stale.absorbed * 4 >= fresh.absorbed);
+        assert!(stale.absorbed > 0);
+    }
+
+    #[test]
+    fn throughput_comparable_to_centralized_router_when_fresh() {
+        // Same chain, same per-step injections: the distributed router
+        // with per-step gossip and no faults should deliver a similar
+        // count to the centralized BalancingRouter (not exactly equal —
+        // gossip is one step stale by construction).
+        let topo = chain(4);
+        let steps = 600u64;
+        let wl = uniform_workload(4, &[3], steps, 1, 11);
+        let run = run_gossip_balancing(&topo, &[3], cfg(steps), &wl, FaultConfig::ideal(), 1);
+
+        let mut central = BalancingRouter::new(
+            4,
+            &[3],
+            BalancingConfig {
+                threshold: 0.5,
+                gamma: 0.0,
+                capacity: 50,
+            },
+        );
+        let edges: Vec<ActiveEdge> = topo
+            .graph
+            .edges()
+            .map(|(u, v, c)| ActiveEdge::new(u, v, c))
+            .collect();
+        let mut w = 0usize;
+        for step in 0..steps {
+            while w < wl.len() && wl[w].0 == step {
+                central.inject(wl[w].1, wl[w].2);
+                w += 1;
+            }
+            central.step(&edges);
+        }
+        let c = central.metrics().delivered;
+        let d = run.absorbed;
+        assert!(
+            d * 2 >= c && c * 2 >= d.max(1),
+            "distributed {d} vs centralized {c} diverged too far"
+        );
+    }
+
+    #[test]
+    fn full_loss_delivers_nothing_but_stays_conserved() {
+        let topo = chain(3);
+        let wl = uniform_workload(3, &[2], 100, 1, 5);
+        let run = run_gossip_balancing(&topo, &[2], cfg(100), &wl, FaultConfig::lossy(1.0), 1);
+        assert!(run.conserved(), "{run:?}");
+        // Packets injected at the destination itself still absorb.
+        assert_eq!(run.absorbed + run.buffered + run.link_lost, run.injected);
+    }
+}

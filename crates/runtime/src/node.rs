@@ -1,0 +1,90 @@
+//! The node-actor abstraction: local state machines driven by messages
+//! and timers.
+//!
+//! An [`Actor`] sees only its own state plus whatever arrives in its
+//! mailbox — the locality discipline of the paper made structural: a
+//! protocol implemented against this trait *cannot* read another node's
+//! state, so whatever topology or routing behaviour emerges is provably
+//! the product of local computation and received messages.
+
+use std::fmt::Debug;
+
+/// A message type usable by the runtime. `kind` labels the message for
+/// per-kind counters ([`NetStats`](crate::NetStats)); the `Debug`
+/// rendering feeds the replay transcript, so two runs with identical
+/// transcripts exchanged byte-identical message sequences.
+pub trait Message: Clone + Debug {
+    /// A short static label for stats bucketing (e.g. `"position"`).
+    fn kind(&self) -> &'static str {
+        "msg"
+    }
+}
+
+/// A node's local state machine. All methods receive a [`Ctx`] through
+/// which the node may send messages, broadcast to its radio neighborhood,
+/// and arm timers; everything else is private state.
+pub trait Actor {
+    /// The protocol's message alphabet.
+    type Msg: Message;
+
+    /// Called once at virtual time 0, before any delivery.
+    fn on_start(&mut self, _ctx: &mut Ctx<Self::Msg>) {}
+
+    /// A message from `from` arrives in this node's mailbox.
+    fn on_message(&mut self, ctx: &mut Ctx<Self::Msg>, from: u32, msg: Self::Msg);
+
+    /// A previously armed timer fires. `timer` is the id passed to
+    /// [`Ctx::set_timer`].
+    fn on_timer(&mut self, _ctx: &mut Ctx<Self::Msg>, _timer: u32) {}
+}
+
+/// Effect buffer handed to actor callbacks: the runtime drains it after
+/// each callback, applying link faults to every outgoing message in
+/// emission order.
+#[derive(Debug)]
+pub struct Ctx<M> {
+    pub(crate) node: u32,
+    now: u64,
+    pub(crate) sends: Vec<(u32, M)>,
+    pub(crate) broadcasts: Vec<M>,
+    pub(crate) timers: Vec<(u64, u32)>,
+}
+
+impl<M> Ctx<M> {
+    pub(crate) fn new(node: u32, now: u64) -> Self {
+        Ctx {
+            node,
+            now,
+            sends: Vec::new(),
+            broadcasts: Vec::new(),
+            timers: Vec::new(),
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> u32 {
+        self.node
+    }
+
+    /// Current virtual time (ticks).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Unicast `msg` to node `to` (subject to link faults).
+    pub fn send(&mut self, to: u32, msg: M) {
+        self.sends.push((to, msg));
+    }
+
+    /// Broadcast `msg` to every node within radio range; each copy
+    /// traverses its link independently (faults are per-receiver).
+    pub fn broadcast(&mut self, msg: M) {
+        self.broadcasts.push(msg);
+    }
+
+    /// Arm a timer to fire `delay` ticks from now (minimum 1), passing
+    /// `timer` back to [`Actor::on_timer`].
+    pub fn set_timer(&mut self, delay: u64, timer: u32) {
+        self.timers.push((self.now + delay.max(1), timer));
+    }
+}

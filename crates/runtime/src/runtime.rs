@@ -1,0 +1,326 @@
+//! The runtime driver: owns the nodes, the event queue, the fault model,
+//! and one seeded RNG — the single source of randomness, so every run is
+//! bit-for-bit replayable from `(nodes, positions, faults, seed)`.
+
+use crate::event::{EventKind, EventQueue};
+use crate::fault::{FaultConfig, TransmitOutcome};
+use crate::node::{Actor, Ctx, Message};
+use crate::stats::{NetStats, Transcript};
+use adhoc_geom::{GridIndex, Point};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Deterministic discrete-event runtime over a set of node actors placed
+/// in the plane. Radio broadcasts reach every node within `range`
+/// (the paper's `G*` neighborhood); each link-level copy independently
+/// passes through the [`FaultConfig`].
+#[derive(Debug)]
+pub struct Runtime<A: Actor> {
+    nodes: Vec<A>,
+    /// Radio neighbors (indices within `range`), per node.
+    neighbors: Vec<Vec<u32>>,
+    queue: EventQueue<A::Msg>,
+    faults: FaultConfig,
+    rng: ChaCha8Rng,
+    now: u64,
+    stats: NetStats,
+    trace: Transcript,
+}
+
+impl<A: Actor> Runtime<A> {
+    /// Build a runtime over `nodes` at the given positions; node `i` sits
+    /// at `positions[i]` and its broadcasts reach every node within
+    /// `range`.
+    pub fn new(
+        nodes: Vec<A>,
+        positions: &[Point],
+        range: f64,
+        faults: FaultConfig,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(nodes.len(), positions.len(), "one position per node");
+        assert!(range.is_finite() && range > 0.0, "range must be positive");
+        faults.validate();
+        let n = positions.len();
+        let mut neighbors = vec![Vec::new(); n];
+        if n > 0 {
+            let grid = GridIndex::build(positions, range);
+            for u in 0..n as u32 {
+                grid.for_each_within(positions[u as usize], range, |v| {
+                    if v != u {
+                        neighbors[u as usize].push(v);
+                    }
+                });
+                // for_each_within order is grid-cell dependent; sort for a
+                // stable broadcast fan-out order.
+                neighbors[u as usize].sort_unstable();
+            }
+        }
+        Runtime {
+            nodes,
+            neighbors,
+            queue: EventQueue::new(),
+            faults,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            now: 0,
+            stats: NetStats::default(),
+            trace: Transcript::new(false),
+        }
+    }
+
+    /// Keep the full human-readable event log (off by default; the digest
+    /// is always maintained).
+    pub fn record_trace(&mut self, record: bool) {
+        self.trace = Transcript::new(record);
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// The replay transcript.
+    pub fn transcript(&self) -> &Transcript {
+        &self.trace
+    }
+
+    /// Immutable view of a node's actor state.
+    pub fn node(&self, id: u32) -> &A {
+        &self.nodes[id as usize]
+    }
+
+    /// All node actors, in id order.
+    pub fn nodes(&self) -> &[A] {
+        &self.nodes
+    }
+
+    /// The radio neighbors of `id` (sorted).
+    pub fn radio_neighbors(&self, id: u32) -> &[u32] {
+        &self.neighbors[id as usize]
+    }
+
+    /// Deliver `on_start` to every node (in id order) at time 0.
+    pub fn start(&mut self) {
+        for id in 0..self.nodes.len() as u32 {
+            let mut ctx = Ctx::new(id, self.now);
+            self.nodes[id as usize].on_start(&mut ctx);
+            self.flush(ctx);
+        }
+    }
+
+    /// Process events until the queue is empty or `max_events` have been
+    /// handled; returns true iff the run went quiescent. Protocols are
+    /// responsible for termination (bounded timer schedules); the cap is a
+    /// backstop against runaway retransmit loops.
+    pub fn run_with_limit(&mut self, max_events: u64) -> bool {
+        for _ in 0..max_events {
+            let Some(ev) = self.queue.pop() else {
+                return true;
+            };
+            debug_assert!(ev.time >= self.now, "time must be monotone");
+            self.now = ev.time;
+            match ev.kind {
+                EventKind::Deliver { from, to, msg } => {
+                    self.stats.delivered += 1;
+                    self.stats.kind(msg.kind()).delivered += 1;
+                    self.trace
+                        .note(format!("D t={} {}->{} {:?}", self.now, from, to, msg));
+                    let mut ctx = Ctx::new(to, self.now);
+                    self.nodes[to as usize].on_message(&mut ctx, from, msg);
+                    self.flush(ctx);
+                }
+                EventKind::Timer { node, timer } => {
+                    self.stats.timers_fired += 1;
+                    self.trace
+                        .note(format!("T t={} n={} id={}", self.now, node, timer));
+                    let mut ctx = Ctx::new(node, self.now);
+                    self.nodes[node as usize].on_timer(&mut ctx, timer);
+                    self.flush(ctx);
+                }
+            }
+        }
+        self.queue.is_empty()
+    }
+
+    /// Run to quiescence (unbounded; see [`Self::run_with_limit`]).
+    pub fn run(&mut self) -> u64 {
+        self.run_with_limit(u64::MAX);
+        self.now
+    }
+
+    /// Drain one callback's effect buffer, applying link faults to every
+    /// outgoing copy in emission order.
+    fn flush(&mut self, ctx: Ctx<A::Msg>) {
+        let Ctx {
+            node,
+            sends,
+            broadcasts,
+            timers,
+            ..
+        } = ctx;
+        for (to, msg) in sends {
+            self.transmit(node, to, msg);
+        }
+        for msg in broadcasts {
+            self.stats.broadcasts += 1;
+            // Clone per receiver; fan-out order is the sorted neighbor list.
+            let nbrs = std::mem::take(&mut self.neighbors[node as usize]);
+            for &to in &nbrs {
+                self.transmit(node, to, msg.clone());
+            }
+            self.neighbors[node as usize] = nbrs;
+        }
+        for (at, timer) in timers {
+            self.stats.timers_set += 1;
+            self.queue.push(at, EventKind::Timer { node, timer });
+        }
+        self.stats.max_queue_depth = self.stats.max_queue_depth.max(self.queue.high_water());
+    }
+
+    fn transmit(&mut self, from: u32, to: u32, msg: A::Msg) {
+        self.stats.sent += 1;
+        self.stats.kind(msg.kind()).sent += 1;
+        match self.faults.transmit(&mut self.rng) {
+            TransmitOutcome::Dropped => {
+                self.stats.dropped += 1;
+                self.stats.kind(msg.kind()).dropped += 1;
+                self.trace
+                    .note(format!("X t={} {}->{} {:?}", self.now, from, to, msg));
+            }
+            TransmitOutcome::Delivered(d) => {
+                self.queue
+                    .push(self.now + d, EventKind::Deliver { from, to, msg });
+            }
+            TransmitOutcome::Duplicated(d1, d2) => {
+                self.stats.duplicated += 1;
+                self.queue.push(
+                    self.now + d1,
+                    EventKind::Deliver {
+                        from,
+                        to,
+                        msg: msg.clone(),
+                    },
+                );
+                self.queue
+                    .push(self.now + d2, EventKind::Deliver { from, to, msg });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::DelayDist;
+
+    /// A toy flood protocol: node 0 starts a token; every node forwards
+    /// the first copy it sees to all radio neighbors.
+    #[derive(Debug, Clone)]
+    struct Flood {
+        id: u32,
+        seen: bool,
+    }
+
+    #[derive(Debug, Clone)]
+    struct Token;
+
+    impl Message for Token {
+        fn kind(&self) -> &'static str {
+            "token"
+        }
+    }
+
+    impl Actor for Flood {
+        type Msg = Token;
+
+        fn on_start(&mut self, ctx: &mut Ctx<Token>) {
+            if self.id == 0 {
+                self.seen = true;
+                ctx.broadcast(Token);
+            }
+        }
+
+        fn on_message(&mut self, ctx: &mut Ctx<Token>, _from: u32, _msg: Token) {
+            if !self.seen {
+                self.seen = true;
+                ctx.broadcast(Token);
+            }
+        }
+    }
+
+    fn line(n: usize) -> Vec<Point> {
+        (0..n).map(|i| Point::new(i as f64, 0.0)).collect()
+    }
+
+    fn flood(n: usize, faults: FaultConfig, seed: u64) -> Runtime<Flood> {
+        let nodes = (0..n as u32).map(|id| Flood { id, seen: false }).collect();
+        Runtime::new(nodes, &line(n), 1.5, faults, seed)
+    }
+
+    #[test]
+    fn flood_reaches_everyone_on_ideal_links() {
+        let mut rt = flood(10, FaultConfig::ideal(), 1);
+        rt.start();
+        rt.run();
+        assert!(rt.nodes().iter().all(|f| f.seen));
+        // Each node broadcasts exactly once.
+        assert_eq!(rt.stats().broadcasts, 10);
+        assert_eq!(rt.stats().per_kind["token"].dropped, 0);
+    }
+
+    #[test]
+    fn same_seed_identical_transcripts() {
+        let faults = FaultConfig {
+            drop_prob: 0.3,
+            duplicate_prob: 0.1,
+            delay: DelayDist::Uniform { min: 1, max: 5 },
+        };
+        let run = |seed| {
+            let mut rt = flood(12, faults, seed);
+            rt.record_trace(true);
+            rt.start();
+            rt.run();
+            (
+                rt.transcript().digest(),
+                rt.transcript().entries().unwrap().to_vec(),
+            )
+        };
+        let (d1, t1) = run(7);
+        let (d2, t2) = run(7);
+        assert_eq!(d1, d2);
+        assert_eq!(t1, t2);
+        let (d3, _) = run(8);
+        assert_ne!(d1, d3, "different seeds should diverge");
+    }
+
+    #[test]
+    fn total_loss_stops_the_flood() {
+        let mut rt = flood(5, FaultConfig::lossy(1.0), 3);
+        rt.start();
+        rt.run();
+        assert!(rt.node(0).seen);
+        assert!(!rt.nodes()[1..].iter().any(|f| f.seen));
+        assert_eq!(rt.stats().delivered, 0);
+        assert_eq!(rt.stats().sent, rt.stats().dropped);
+    }
+
+    #[test]
+    fn run_with_limit_caps_events() {
+        let mut rt = flood(30, FaultConfig::ideal(), 4);
+        rt.start();
+        let quiescent = rt.run_with_limit(3);
+        assert!(!quiescent);
+    }
+
+    #[test]
+    fn radio_neighbors_respect_range() {
+        let rt = flood(4, FaultConfig::ideal(), 5);
+        assert_eq!(rt.radio_neighbors(0), &[1]);
+        assert_eq!(rt.radio_neighbors(1), &[0, 2]);
+    }
+}

@@ -1,0 +1,149 @@
+//! Runtime instrumentation: message counters and the replay transcript.
+
+use std::collections::BTreeMap;
+
+/// Counters for one message kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KindCounts {
+    /// Link-level transmissions attempted (each broadcast counts once per
+    /// receiver).
+    pub sent: u64,
+    /// Copies actually delivered (duplicates included).
+    pub delivered: u64,
+    /// Transmissions lost to the fault model.
+    pub dropped: u64,
+}
+
+/// Aggregate counters for one run, overall and per message kind.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Link-level transmissions attempted.
+    pub sent: u64,
+    /// Copies delivered (duplicates included).
+    pub delivered: u64,
+    /// Transmissions lost.
+    pub dropped: u64,
+    /// Extra copies created by duplication faults.
+    pub duplicated: u64,
+    /// Radio broadcasts requested (before per-receiver fan-out).
+    pub broadcasts: u64,
+    /// Timers armed.
+    pub timers_set: u64,
+    /// Timers fired.
+    pub timers_fired: u64,
+    /// High-water mark of the event queue.
+    pub max_queue_depth: usize,
+    /// Per-kind breakdown, keyed by [`Message::kind`](crate::Message::kind).
+    pub per_kind: BTreeMap<&'static str, KindCounts>,
+}
+
+impl NetStats {
+    /// Fraction of transmissions lost (0 when nothing was sent).
+    pub fn loss_rate(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / self.sent as f64
+        }
+    }
+
+    pub(crate) fn kind(&mut self, k: &'static str) -> &mut KindCounts {
+        self.per_kind.entry(k).or_default()
+    }
+}
+
+/// A replay transcript: a rolling FNV-1a digest over every event the
+/// runtime processes (deliveries, drops, timer firings), plus optionally
+/// the full event log. Two runs are *replay-identical* iff their digests
+/// match; [`crate::Runtime::record_trace`] additionally keeps the
+/// human-readable entries so tests can diff them.
+#[derive(Debug, Clone)]
+pub struct Transcript {
+    digest: u64,
+    entries: Option<Vec<String>>,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Default for Transcript {
+    fn default() -> Self {
+        Transcript {
+            digest: FNV_OFFSET,
+            entries: None,
+        }
+    }
+}
+
+impl Transcript {
+    /// A fresh transcript; pass `record = true` to keep full entries.
+    pub fn new(record: bool) -> Self {
+        Transcript {
+            digest: FNV_OFFSET,
+            entries: if record { Some(Vec::new()) } else { None },
+        }
+    }
+
+    /// Fold one event record into the digest (and the log if recording).
+    pub(crate) fn note(&mut self, entry: String) {
+        for b in entry.as_bytes() {
+            self.digest ^= *b as u64;
+            self.digest = self.digest.wrapping_mul(FNV_PRIME);
+        }
+        // Separator so concatenation ambiguity can't collide entries.
+        self.digest ^= 0xff;
+        self.digest = self.digest.wrapping_mul(FNV_PRIME);
+        if let Some(log) = &mut self.entries {
+            log.push(entry);
+        }
+    }
+
+    /// The rolling digest over all events so far.
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// The full event log, if recording was enabled.
+    pub fn entries(&self) -> Option<&[String]> {
+        self.entries.as_deref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_order_sensitive() {
+        let mut a = Transcript::new(false);
+        a.note("x".into());
+        a.note("y".into());
+        let mut b = Transcript::new(false);
+        b.note("y".into());
+        b.note("x".into());
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn digest_ignores_recording_flag() {
+        let mut a = Transcript::new(false);
+        let mut b = Transcript::new(true);
+        for s in ["p", "q", "r"] {
+            a.note(s.into());
+            b.note(s.into());
+        }
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(b.entries().unwrap().len(), 3);
+        assert!(a.entries().is_none());
+    }
+
+    #[test]
+    fn separator_prevents_concatenation_collisions() {
+        let mut a = Transcript::new(false);
+        a.note("ab".into());
+        let mut b = Transcript::new(false);
+        b.note("a".into());
+        b.note("b".into());
+        assert_ne!(a.digest(), b.digest());
+    }
+}

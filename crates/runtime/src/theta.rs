@@ -1,0 +1,542 @@
+//! ΘALG as a fault-tolerant actor protocol (paper §2.1, hardened).
+//!
+//! The direct 3-round formulation (`adhoc_core::protocol`) assumes every
+//! broadcast is heard. Here each round is a *time window* of `round_len`
+//! ticks and the protocol survives lossy links by retransmission:
+//!
+//! * **Round 1** `[0, L)` — every node rebroadcasts its `Position` every
+//!   `resend_every` ticks (unacknowledged flooding; receivers dedup).
+//! * **Round 2** `[L, 2L)` — each node computes `N(u)` from the positions
+//!   it heard and sends `Neighborhood` to each chosen neighbor,
+//!   retransmitting until the matching `NbrAck` arrives or the window
+//!   closes.
+//! * **Round 3** `[2L, 3L)` — each node admits the nearest offer per
+//!   sector and sends `Connection` (ack/retransmit again); the admitted
+//!   sets are exactly the edges of `𝒩`.
+//!
+//! With loss rate `p` and `k = round_len / resend_every` transmissions
+//! per message, a message misses its window with probability `pᵏ` — so
+//! for any fixed seed and moderate `p`, the reconstructed topology equals
+//! the direct `ThetaAlg::build` graph exactly; the test suite and
+//! experiment E20 assert this across loss rates.
+
+use crate::fault::FaultConfig;
+use crate::node::{Actor, Ctx, Message};
+use crate::runtime::Runtime;
+use crate::stats::NetStats;
+use adhoc_geom::{Point, SectorPartition};
+use adhoc_graph::GraphBuilder;
+use adhoc_proximity::SpatialGraph;
+
+/// Timer ids used by [`ThetaNode`].
+const TIMER_RESEND: u32 = 1;
+const TIMER_ROUND2: u32 = 2;
+const TIMER_ROUND3: u32 = 3;
+
+/// Message alphabet of the hardened ΘALG protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ThetaMsg {
+    /// Round-1 position beacon.
+    Position {
+        /// The sender's coordinates.
+        pos: Point,
+    },
+    /// Round-2 neighborhood offer: "you are in my `N(u)`".
+    Neighborhood,
+    /// Acknowledges a [`ThetaMsg::Neighborhood`].
+    NbrAck,
+    /// Round-3 edge admission: "I admitted your offer".
+    Connection,
+    /// Acknowledges a [`ThetaMsg::Connection`].
+    ConnAck,
+}
+
+impl Message for ThetaMsg {
+    fn kind(&self) -> &'static str {
+        match self {
+            ThetaMsg::Position { .. } => "position",
+            ThetaMsg::Neighborhood => "neighborhood",
+            ThetaMsg::NbrAck => "nbr-ack",
+            ThetaMsg::Connection => "connection",
+            ThetaMsg::ConnAck => "conn-ack",
+        }
+    }
+}
+
+/// Protocol phase of one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Broadcasting / collecting positions.
+    Positions,
+    /// Exchanging neighborhood offers.
+    Offers,
+    /// Exchanging connections.
+    Connections,
+}
+
+/// Timing parameters of the hardened protocol.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThetaTiming {
+    /// Ticks per round window (`L`).
+    pub round_len: u64,
+    /// Retransmission period within a window.
+    pub resend_every: u64,
+}
+
+impl Default for ThetaTiming {
+    /// 64-tick rounds, retransmit every 4 ticks (16 tries per message).
+    fn default() -> Self {
+        ThetaTiming {
+            round_len: 64,
+            resend_every: 4,
+        }
+    }
+}
+
+impl ThetaTiming {
+    /// Retransmission attempts available per message per round.
+    pub fn budget(&self) -> u64 {
+        self.round_len / self.resend_every.max(1)
+    }
+
+    fn validate(&self, faults: &FaultConfig) {
+        assert!(self.resend_every >= 1, "resend_every must be ≥ 1");
+        assert!(
+            self.round_len > self.resend_every,
+            "round_len must exceed resend_every"
+        );
+        assert!(
+            faults.max_delay() < self.round_len / 2,
+            "max link delay {} too close to round_len {}; late deliveries \
+             would leak across round boundaries",
+            faults.max_delay(),
+            self.round_len
+        );
+    }
+}
+
+/// One ΘALG node as a local state machine.
+#[derive(Debug, Clone)]
+pub struct ThetaNode {
+    id: u32,
+    pos: Point,
+    sectors: SectorPartition,
+    timing: ThetaTiming,
+    phase: Phase,
+    /// Positions heard in round 1 (deduped by sender).
+    heard: Vec<(u32, Point)>,
+    /// Phase-1 output `N(u)`.
+    chosen: Vec<u32>,
+    /// Round-2 inbox: who offered me an edge (deduped).
+    offers: Vec<u32>,
+    /// Phase-2 output: admitted offers = this node's edges of `𝒩`.
+    admitted: Vec<u32>,
+    /// Connections received (the other endpoint's admissions) — edge
+    /// awareness, not part of the graph definition.
+    conn_received: Vec<u32>,
+    unacked_nbr: Vec<u32>,
+    unacked_conn: Vec<u32>,
+}
+
+impl ThetaNode {
+    fn new(id: u32, pos: Point, sectors: SectorPartition, timing: ThetaTiming) -> Self {
+        ThetaNode {
+            id,
+            pos,
+            sectors,
+            timing,
+            phase: Phase::Positions,
+            heard: Vec::new(),
+            chosen: Vec::new(),
+            offers: Vec::new(),
+            admitted: Vec::new(),
+            conn_received: Vec::new(),
+            unacked_nbr: Vec::new(),
+            unacked_conn: Vec::new(),
+        }
+    }
+
+    /// The edges this node admitted (its directed contribution to `𝒩`).
+    pub fn admitted(&self) -> &[u32] {
+        &self.admitted
+    }
+
+    /// Connections received from the other endpoints.
+    pub fn connections_received(&self) -> &[u32] {
+        &self.conn_received
+    }
+
+    /// Position of a heard node, if its beacon ever arrived.
+    fn heard_pos(&self, v: u32) -> Option<Point> {
+        self.heard.iter().find(|(u, _)| *u == v).map(|&(_, p)| p)
+    }
+
+    /// Nearest heard node per sector — identical tie-breaking to the
+    /// direct construction (smaller distance², then smaller id).
+    fn nearest_per_sector(&self, candidates: impl Iterator<Item = (u32, Point)>) -> Vec<u32> {
+        let k = self.sectors.count() as usize;
+        let mut best: Vec<Option<(f64, u32)>> = vec![None; k];
+        for (v, pv) in candidates {
+            let s = self.sectors.sector_of(self.pos, pv) as usize;
+            let d = self.pos.dist_sq(pv);
+            let better = match best[s] {
+                None => true,
+                Some((bd, bv)) => d < bd || (d == bd && v < bv),
+            };
+            if better {
+                best[s] = Some((d, v));
+            }
+        }
+        best.iter().filter_map(|b| b.map(|(_, v)| v)).collect()
+    }
+
+    /// Re-arm the retransmit timer while it still fits inside `deadline`.
+    fn rearm(&self, ctx: &mut Ctx<ThetaMsg>, deadline: u64) {
+        if ctx.now() + self.timing.resend_every < deadline {
+            ctx.set_timer(self.timing.resend_every, TIMER_RESEND);
+        }
+    }
+}
+
+impl Actor for ThetaNode {
+    type Msg = ThetaMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<ThetaMsg>) {
+        let l = self.timing.round_len;
+        ctx.broadcast(ThetaMsg::Position { pos: self.pos });
+        ctx.set_timer(self.timing.resend_every, TIMER_RESEND);
+        ctx.set_timer(l, TIMER_ROUND2);
+        ctx.set_timer(2 * l, TIMER_ROUND3);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<ThetaMsg>, from: u32, msg: ThetaMsg) {
+        match msg {
+            ThetaMsg::Position { pos } => {
+                if self.heard_pos(from).is_none() {
+                    self.heard.push((from, pos));
+                }
+            }
+            ThetaMsg::Neighborhood => {
+                // Always ack — the previous ack may have been lost.
+                ctx.send(from, ThetaMsg::NbrAck);
+                if !self.offers.contains(&from) {
+                    self.offers.push(from);
+                }
+            }
+            ThetaMsg::NbrAck => self.unacked_nbr.retain(|&v| v != from),
+            ThetaMsg::Connection => {
+                ctx.send(from, ThetaMsg::ConnAck);
+                if !self.conn_received.contains(&from) {
+                    self.conn_received.push(from);
+                }
+            }
+            ThetaMsg::ConnAck => self.unacked_conn.retain(|&v| v != from),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<ThetaMsg>, timer: u32) {
+        let l = self.timing.round_len;
+        match timer {
+            TIMER_ROUND2 => {
+                self.phase = Phase::Offers;
+                self.chosen = self.nearest_per_sector(self.heard.iter().copied());
+                for &v in &self.chosen {
+                    ctx.send(v, ThetaMsg::Neighborhood);
+                }
+                self.unacked_nbr = self.chosen.clone();
+                if !self.unacked_nbr.is_empty() {
+                    ctx.set_timer(self.timing.resend_every, TIMER_RESEND);
+                }
+            }
+            TIMER_ROUND3 => {
+                self.phase = Phase::Connections;
+                // Admit the nearest offer per sector. An offer whose
+                // Position beacon never arrived cannot be placed in a
+                // sector; it is skipped (the lossless protocol can't hit
+                // this: an offer implies the sender heard us, and we
+                // retransmitted our beacon all round).
+                let offers = std::mem::take(&mut self.offers);
+                self.admitted = self.nearest_per_sector(
+                    offers
+                        .iter()
+                        .filter_map(|&v| self.heard_pos(v).map(|p| (v, p))),
+                );
+                self.offers = offers;
+                for &v in &self.admitted {
+                    ctx.send(v, ThetaMsg::Connection);
+                }
+                self.unacked_conn = self.admitted.clone();
+                if !self.unacked_conn.is_empty() {
+                    ctx.set_timer(self.timing.resend_every, TIMER_RESEND);
+                }
+            }
+            TIMER_RESEND => match self.phase {
+                Phase::Positions => {
+                    ctx.broadcast(ThetaMsg::Position { pos: self.pos });
+                    self.rearm(ctx, l);
+                }
+                Phase::Offers => {
+                    for &v in &self.unacked_nbr {
+                        ctx.send(v, ThetaMsg::Neighborhood);
+                    }
+                    if !self.unacked_nbr.is_empty() {
+                        self.rearm(ctx, 2 * l);
+                    }
+                }
+                Phase::Connections => {
+                    for &v in &self.unacked_conn {
+                        ctx.send(v, ThetaMsg::Connection);
+                    }
+                    if !self.unacked_conn.is_empty() {
+                        self.rearm(ctx, 3 * l);
+                    }
+                }
+            },
+            _ => unreachable!("unknown timer {timer}"),
+        }
+    }
+}
+
+/// Result of one hardened-protocol execution.
+#[derive(Debug, Clone)]
+pub struct ThetaRun {
+    /// The reconstructed topology `𝒩` (union of admitted offers, exactly
+    /// as the direct construction defines it).
+    pub graph: SpatialGraph,
+    /// Message/timer counters.
+    pub stats: NetStats,
+    /// Replay digest — equal digests ⇒ identical runs.
+    pub digest: u64,
+    /// Virtual time at quiescence.
+    pub finished_at: u64,
+    /// Fraction of admitted edges whose `Connection` message reached the
+    /// other endpoint (1.0 on lossless links): how completely the nodes
+    /// *know* the topology they built.
+    pub edge_awareness: f64,
+}
+
+/// Execute the hardened ΘALG protocol over faulty links.
+///
+/// `sectors`/`range` are the ΘALG parameters (use
+/// `adhoc_core::ThetaAlg::sectors` for a `θ`-derived partition);
+/// `timing` sizes the round windows against the fault model.
+pub fn run_theta_protocol(
+    points: &[Point],
+    sectors: SectorPartition,
+    range: f64,
+    timing: ThetaTiming,
+    faults: FaultConfig,
+    seed: u64,
+) -> ThetaRun {
+    timing.validate(&faults);
+    assert!(range.is_finite() && range > 0.0, "range must be positive");
+    if points.is_empty() {
+        return ThetaRun {
+            graph: SpatialGraph::new(Vec::new(), GraphBuilder::new(0).build(), range),
+            stats: NetStats::default(),
+            digest: crate::stats::Transcript::new(false).digest(),
+            finished_at: 0,
+            edge_awareness: 1.0,
+        };
+    }
+    let nodes: Vec<ThetaNode> = points
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| ThetaNode::new(i as u32, p, sectors, timing))
+        .collect();
+    let mut rt = Runtime::new(nodes, points, range, faults, seed);
+    rt.start();
+    let finished_at = rt.run();
+
+    let mut builder = GraphBuilder::new(points.len());
+    let mut admitted_total = 0u64;
+    let mut aware = 0u64;
+    for node in rt.nodes() {
+        for &v in node.admitted() {
+            builder.add_edge(node.id, v, node.pos.dist(points[v as usize]));
+            admitted_total += 1;
+            if rt.node(v).connections_received().contains(&node.id) {
+                aware += 1;
+            }
+        }
+    }
+    ThetaRun {
+        graph: SpatialGraph::new(points.to_vec(), builder.build(), range),
+        stats: rt.stats().clone(),
+        digest: rt.transcript().digest(),
+        finished_at,
+        edge_awareness: if admitted_total == 0 {
+            1.0
+        } else {
+            aware as f64 / admitted_total as f64
+        },
+    }
+}
+
+/// Fraction of `reference`'s edges present in `candidate` (1.0 when every
+/// reference edge was reconstructed; 1.0 for an empty reference).
+pub fn edge_fidelity(reference: &SpatialGraph, candidate: &SpatialGraph) -> f64 {
+    let total = reference.graph.num_edges();
+    if total == 0 {
+        return 1.0;
+    }
+    let present = reference
+        .graph
+        .edges()
+        .filter(|&(u, v, _)| candidate.graph.has_edge(u, v))
+        .count();
+    present as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::DelayDist;
+    use adhoc_core::ThetaAlg;
+    use rand::prelude::*;
+    use rand_chacha::ChaCha8Rng;
+    use std::f64::consts::FRAC_PI_3;
+
+    fn uniform(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new(rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect()
+    }
+
+    #[test]
+    fn lossless_matches_direct_construction() {
+        for seed in [1u64, 2] {
+            let points = uniform(80, seed);
+            let range = 0.4;
+            let alg = ThetaAlg::new(FRAC_PI_3, range);
+            let direct = alg.build(&points);
+            let run = run_theta_protocol(
+                &points,
+                alg.sectors(),
+                range,
+                ThetaTiming::default(),
+                FaultConfig::ideal(),
+                seed,
+            );
+            assert_eq!(direct.spatial.graph, run.graph.graph, "seed {seed}");
+            assert_eq!(run.edge_awareness, 1.0);
+        }
+    }
+
+    #[test]
+    fn lossy_links_still_reconstruct_exactly() {
+        let points = uniform(60, 5);
+        let range = 0.4;
+        let alg = ThetaAlg::new(FRAC_PI_3, range);
+        let direct = alg.build(&points);
+        for loss in [0.05, 0.1, 0.2] {
+            let run = run_theta_protocol(
+                &points,
+                alg.sectors(),
+                range,
+                ThetaTiming::default(),
+                FaultConfig::lossy(loss),
+                42,
+            );
+            assert_eq!(
+                direct.spatial.graph, run.graph.graph,
+                "loss {loss}: retransmit budget should absorb it"
+            );
+            assert!(run.stats.dropped > 0, "loss {loss} dropped nothing?");
+        }
+    }
+
+    #[test]
+    fn delays_and_duplicates_are_harmless() {
+        let points = uniform(50, 9);
+        let range = 0.45;
+        let alg = ThetaAlg::new(FRAC_PI_3, range);
+        let direct = alg.build(&points);
+        let faults = FaultConfig {
+            drop_prob: 0.1,
+            duplicate_prob: 0.2,
+            delay: DelayDist::Uniform { min: 1, max: 8 },
+        };
+        let run = run_theta_protocol(
+            &points,
+            alg.sectors(),
+            range,
+            ThetaTiming::default(),
+            faults,
+            7,
+        );
+        assert_eq!(direct.spatial.graph, run.graph.graph);
+        assert!(run.stats.duplicated > 0);
+    }
+
+    #[test]
+    fn same_seed_same_digest_and_graph() {
+        let points = uniform(40, 3);
+        let alg = ThetaAlg::new(FRAC_PI_3, 0.5);
+        let go = |seed| {
+            run_theta_protocol(
+                &points,
+                alg.sectors(),
+                0.5,
+                ThetaTiming::default(),
+                FaultConfig::lossy(0.15),
+                seed,
+            )
+        };
+        let (a, b) = (go(11), go(11));
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.graph.graph, b.graph.graph);
+        assert_eq!(a.stats, b.stats);
+        assert_ne!(go(12).digest, a.digest);
+    }
+
+    #[test]
+    fn starved_retransmit_budget_degrades_not_panics() {
+        // One transmission per message and 60% loss: the graph will be
+        // incomplete, but the run must finish and fidelity is measurable.
+        let points = uniform(50, 8);
+        let range = 0.4;
+        let alg = ThetaAlg::new(FRAC_PI_3, range);
+        let direct = alg.build(&points);
+        let timing = ThetaTiming {
+            round_len: 4,
+            resend_every: 3,
+        };
+        let run = run_theta_protocol(
+            &points,
+            alg.sectors(),
+            range,
+            timing,
+            FaultConfig::lossy(0.6),
+            2,
+        );
+        let f = edge_fidelity(&direct.spatial, &run.graph);
+        assert!(f < 1.0, "a starved budget should lose edges (f = {f})");
+        assert!(run.edge_awareness <= 1.0);
+    }
+
+    #[test]
+    fn empty_input() {
+        let run = run_theta_protocol(
+            &[],
+            SectorPartition::with_max_angle(FRAC_PI_3),
+            1.0,
+            ThetaTiming::default(),
+            FaultConfig::ideal(),
+            0,
+        );
+        assert!(run.graph.is_empty());
+    }
+
+    #[test]
+    fn fidelity_measure_sane() {
+        let points = uniform(30, 4);
+        let alg = ThetaAlg::new(FRAC_PI_3, 0.5);
+        let direct = alg.build(&points);
+        assert_eq!(edge_fidelity(&direct.spatial, &direct.spatial), 1.0);
+        let empty = SpatialGraph::new(points.clone(), GraphBuilder::new(points.len()).build(), 0.5);
+        assert_eq!(edge_fidelity(&direct.spatial, &empty), 0.0);
+        assert_eq!(edge_fidelity(&empty, &direct.spatial), 1.0);
+    }
+}

@@ -171,10 +171,7 @@ mod tests {
     #[test]
     fn slowdown_within_theorem_regime() {
         let (topo, schedule) = setup(100, 60, 5);
-        let i = adhoc_interference::interference_number(
-            &topo.spatial,
-            InterferenceModel::new(0.5),
-        );
+        let i = adhoc_interference::interference_number(&topo.spatial, InterferenceModel::new(0.5));
         let report = emulate_on_theta(&topo, &schedule, InterferenceModel::new(0.5));
         // Theorem 2.8: emulated ≤ O(t·I + n²). We check the realized
         // slowdown against a small multiple of I (the n² term covers

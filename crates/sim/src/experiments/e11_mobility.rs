@@ -28,7 +28,12 @@ pub fn run(quick: bool) -> Table {
     let mut table = Table::new(
         "E11 (extension): ΘALG + (T,γ)-balancing under random-waypoint mobility",
         &[
-            "n", "speed", "rebuilds", "lemma 2.1 ok", "delivered/injected", "energy/delivery",
+            "n",
+            "speed",
+            "rebuilds",
+            "lemma 2.1 ok",
+            "delivered/injected",
+            "energy/delivery",
             "avg hops",
         ],
     );
@@ -99,10 +104,7 @@ mod tests {
         assert_eq!(t.rows.len(), 2);
         for row in &t.rows {
             assert_eq!(row[3], "true", "Lemma 2.1 degree bound failed: {row:?}");
-            let parts: Vec<u64> = row[4]
-                .split('/')
-                .map(|x| x.parse().unwrap())
-                .collect();
+            let parts: Vec<u64> = row[4].split('/').map(|x| x.parse().unwrap()).collect();
             let (delivered, injected) = (parts[0], parts[1]);
             assert!(injected > 0);
             assert!(

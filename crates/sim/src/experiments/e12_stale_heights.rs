@@ -15,12 +15,20 @@ use std::f64::consts::PI;
 pub fn run(quick: bool) -> Table {
     let n = if quick { 60 } else { 120 };
     let steps = if quick { 2000 } else { 8000 };
-    let periods: &[u64] = if quick { &[1, 4, 16] } else { &[1, 2, 4, 8, 16, 64] };
+    let periods: &[u64] = if quick {
+        &[1, 4, 16]
+    } else {
+        &[1, 2, 4, 8, 16, 64]
+    };
 
     let mut table = Table::new(
         "E12 (ablation, §3.2 remark): stale-height balancing — control traffic vs throughput",
         &[
-            "refresh period", "control msgs", "delivered", "throughput vs fresh", "conserved",
+            "refresh period",
+            "control msgs",
+            "delivered",
+            "throughput vs fresh",
+            "conserved",
         ],
     );
 

@@ -67,8 +67,7 @@ pub fn run(quick: bool) -> Table {
             let topo = alg.build(&points);
             let yao = yao_graph(&points, SectorPartition::with_max_angle(PI / 3.0), range);
             let sources: Vec<u32> = (0..n as u32).step_by((n / 30).max(1)).collect();
-            let st =
-                adhoc_core::stretch::sampled_distance_stretch(&topo.spatial, &gstar, &sources);
+            let st = adhoc_core::stretch::sampled_distance_stretch(&topo.spatial, &gstar, &sources);
             let st_yao = adhoc_core::stretch::sampled_distance_stretch(&yao, &gstar, &sources);
             worst_theta = worst_theta.max(st.max);
             worst_yao = worst_yao.max(st_yao.max);
@@ -76,15 +75,13 @@ pub fn run(quick: bool) -> Table {
             // Comparators are expensive; probe on the first trial only.
             if t == 0 && n <= 100 {
                 let (gsp, work) = greedy_spanner(&gstar, 2.0);
-                let st_g =
-                    adhoc_core::stretch::sampled_distance_stretch(&gsp, &gstar, &sources);
+                let st_g = adhoc_core::stretch::sampled_distance_stretch(&gsp, &gstar, &sources);
                 worst_greedy = worst_greedy.max(st_g.max);
                 queries = work.shortest_path_queries;
             } else if t == 0 {
                 // At larger n use the cheaper prune comparator on 𝒩₁.
                 let (pruned, work) = prune_spanner(&yao, 2.0);
-                let st_g =
-                    adhoc_core::stretch::sampled_distance_stretch(&pruned, &gstar, &sources);
+                let st_g = adhoc_core::stretch::sampled_distance_stretch(&pruned, &gstar, &sources);
                 worst_greedy = worst_greedy.max(st_g.max);
                 queries = work.shortest_path_queries;
             }

@@ -65,8 +65,14 @@ pub fn run(quick: bool) -> Table {
             "balancing deliveries".into(),
             stats.delivered.to_string(),
         ]);
-        table.push(vec!["balancing latency p50 (steps)".into(), stats.p50.to_string()]);
-        table.push(vec!["balancing latency p95 (steps)".into(), stats.p95.to_string()]);
+        table.push(vec![
+            "balancing latency p50 (steps)".into(),
+            stats.p50.to_string(),
+        ]);
+        table.push(vec![
+            "balancing latency p95 (steps)".into(),
+            stats.p95.to_string(),
+        ]);
         table.push(vec!["balancing latency mean".into(), f2(stats.mean)]);
         let gm = greedy.metrics();
         table.push(vec!["greedy deliveries".into(), gm.delivered.to_string()]);
@@ -102,7 +108,13 @@ pub fn run(quick: bool) -> Table {
         members.sort_unstable();
         members.dedup();
 
-        let mut any = AnycastRouter::new(n, &[members.clone()], cfg.threshold, cfg.gamma, cfg.capacity);
+        let mut any = AnycastRouter::new(
+            n,
+            &[members.clone()],
+            cfg.threshold,
+            cfg.gamma,
+            cfg.capacity,
+        );
         let mut uni = BalancingRouter::new(n, &[members[0]], cfg);
         let mut inj_rng = ChaCha8Rng::seed_from_u64(15_002);
         for _ in 0..steps {
@@ -159,7 +171,10 @@ mod tests {
         let ha: f64 = get(&t, "anycast hops/delivery").parse().unwrap();
         let hu: f64 = get(&t, "unicast hops/delivery").parse().unwrap();
         assert!(ha > 0.0 && hu > 0.0);
-        assert!(ha <= hu, "anycast used more hops ({ha}) than unicast ({hu})");
+        assert!(
+            ha <= hu,
+            "anycast used more hops ({ha}) than unicast ({hu})"
+        );
         let ratio: f64 = get(&t, "anycast/unicast delivery ratio").parse().unwrap();
         assert!(ratio >= 0.95, "anycast delivered fewer packets: {ratio}");
     }

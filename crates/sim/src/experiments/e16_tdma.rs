@@ -26,7 +26,11 @@ use std::f64::consts::PI;
 
 /// Run E16 and return the table.
 pub fn run(quick: bool) -> Table {
-    let sizes: &[usize] = if quick { &[100, 200] } else { &[100, 200, 400, 800] };
+    let sizes: &[usize] = if quick {
+        &[100, 200]
+    } else {
+        &[100, 200, 400, 800]
+    };
     let steps = if quick { 4000 } else { 12_000 };
 
     let mut table = Table::new(

@@ -67,7 +67,10 @@ pub fn run(quick: bool) -> Table {
             let sends = router.step(&edges);
             for send in sends {
                 total_sends += 1;
-                if matches!((send.from, send.to), (0, 4) | (4, 5) | (5, 1) | (4, 0) | (5, 4) | (1, 5)) {
+                if matches!(
+                    (send.from, send.to),
+                    (0, 4) | (4, 5) | (5, 1) | (4, 0) | (5, 4) | (1, 5)
+                ) {
                     expensive_sends += 1;
                 }
             }

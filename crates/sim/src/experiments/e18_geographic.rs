@@ -48,8 +48,13 @@ pub fn run(quick: bool) -> Table {
     let mut table = Table::new(
         "E18 (baseline contrast): greedy geographic forwarding vs (T,γ)-balancing across a void",
         &[
-            "arm len", "n", "geo delivered", "geo void-drops", "balancing delivered",
-            "balancing drops", "bal hops/delivery",
+            "arm len",
+            "n",
+            "geo delivered",
+            "geo void-drops",
+            "balancing delivered",
+            "balancing drops",
+            "bal hops/delivery",
         ],
     );
 

@@ -16,12 +16,22 @@ use std::f64::consts::PI;
 
 /// Run E19 and return the table.
 pub fn run(quick: bool) -> Table {
-    let sizes: &[usize] = if quick { &[80, 160] } else { &[80, 160, 320, 640] };
+    let sizes: &[usize] = if quick {
+        &[80, 160]
+    } else {
+        &[80, 160, 320, 640]
+    };
 
     let mut table = Table::new(
         "E19 (Theorem 2.8 end-to-end): G*-schedule emulation on 𝒩 — slowdown vs the O(I) bound",
         &[
-            "n", "I(𝒩)", "t (G* steps)", "emulated steps", "slowdown", "slowdown/I", "frame",
+            "n",
+            "I(𝒩)",
+            "t (G* steps)",
+            "emulated steps",
+            "slowdown",
+            "slowdown/I",
+            "frame",
         ],
     );
 

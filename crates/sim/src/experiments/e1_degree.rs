@@ -16,7 +16,11 @@ use std::f64::consts::PI;
 
 /// Run E1 and return the table.
 pub fn run(quick: bool) -> Table {
-    let sizes: &[usize] = if quick { &[100, 200] } else { &[100, 400, 1600] };
+    let sizes: &[usize] = if quick {
+        &[100, 200]
+    } else {
+        &[100, 400, 1600]
+    };
     let thetas: &[f64] = if quick {
         &[PI / 3.0, PI / 6.0]
     } else {

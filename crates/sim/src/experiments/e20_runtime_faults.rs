@@ -1,0 +1,127 @@
+//! **E20 — locality under faults**: the paper's locality claims, replayed
+//! over *unreliable* radios via the `adhoc-runtime` message-passing
+//! runtime. Sweep the link loss rate and measure (a) whether the hardened
+//! 3-round ΘALG protocol still reconstructs the exact `𝒩` of the direct
+//! construction, (b) how many retransmissions that costs, and (c) the
+//! routed throughput of distributed `(T,γ)`-balancing with height gossip
+//! over the reconstructed topology — with its packet-conservation ledger
+//! checked under the same faults.
+
+use super::table::{f3, Table};
+use adhoc_core::ThetaAlg;
+use adhoc_geom::distributions::NodeDistribution;
+use adhoc_routing::BalancingConfig;
+use adhoc_runtime::{
+    edge_fidelity, run_gossip_balancing, run_theta_protocol, uniform_workload, FaultConfig,
+    GossipConfig, ThetaTiming,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::f64::consts::PI;
+
+/// Run E20 and return the table.
+pub fn run(quick: bool) -> Table {
+    let n = if quick { 40 } else { 120 };
+    let steps = if quick { 300 } else { 2000 };
+    let losses: &[f64] = &[0.0, 0.05, 0.1, 0.2];
+
+    let mut table = Table::new(
+        "E20 (runtime, §2.1+§3.2 under faults): ΘALG + (T,γ)-balancing over lossy links",
+        &[
+            "loss rate",
+            "θ msgs sent",
+            "θ msgs dropped",
+            "fidelity",
+            "exact 𝒩",
+            "edge awareness",
+            "routed delivery",
+            "pkts link-lost",
+            "conserved",
+        ],
+    );
+
+    let mut rng = ChaCha8Rng::seed_from_u64(20_000);
+    let points = NodeDistribution::unit_square()
+        .sample(n, &mut rng)
+        .expect("sampling");
+    let range = adhoc_geom::default_max_range(n);
+    let alg = ThetaAlg::new(PI / 3.0, range);
+    let direct = alg.build(&points);
+
+    for &loss in losses {
+        let faults = FaultConfig::lossy(loss);
+        let theta = run_theta_protocol(
+            &points,
+            alg.sectors(),
+            range,
+            ThetaTiming::default(),
+            faults,
+            4242,
+        );
+        let fidelity = edge_fidelity(&direct.spatial, &theta.graph);
+        let exact = direct.spatial.graph == theta.graph.graph;
+
+        // Route over what the protocol actually built, under the same
+        // faults: packets to one sink, uniform sources.
+        let dests = [0u32];
+        let workload = uniform_workload(n, &dests, steps, 2, 99);
+        let gossip = run_gossip_balancing(
+            &theta.graph,
+            &dests,
+            GossipConfig::new(
+                BalancingConfig {
+                    threshold: 0.5,
+                    gamma: 0.1,
+                    capacity: 40,
+                },
+                steps,
+            ),
+            &workload,
+            faults,
+            4242,
+        );
+
+        table.push(vec![
+            f3(loss),
+            theta.stats.sent.to_string(),
+            theta.stats.dropped.to_string(),
+            f3(fidelity),
+            exact.to_string(),
+            f3(theta.edge_awareness),
+            f3(gossip.delivery_rate()),
+            gossip.link_lost.to_string(),
+            gossip.conserved().to_string(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_acceptance_criteria() {
+        let t = run(true);
+        assert_eq!(t.rows.len(), 4);
+        for row in &t.rows {
+            let loss: f64 = row[0].parse().unwrap();
+            let fidelity: f64 = row[3].parse().unwrap();
+            let exact = &row[4] == "true";
+            // Acceptance: exact reconstruction, or ≥ 99% fidelity at the
+            // highest loss rate.
+            assert!(
+                exact || (loss >= 0.2 && fidelity >= 0.99),
+                "loss {loss}: fidelity {fidelity}, exact {exact}"
+            );
+            assert_eq!(row[8], "true", "conservation violated: {row:?}");
+        }
+        // Lossless run drops nothing and routes perfectly losslessly.
+        assert_eq!(t.rows[0][2], "0");
+        assert_eq!(t.rows[0][7], "0");
+        // Higher loss costs more retransmissions than the lossless run.
+        let sent_0: u64 = t.rows[0][1].parse().unwrap();
+        let sent_20: u64 = t.rows[3][1].parse().unwrap();
+        assert!(sent_20 >= sent_0);
+    }
+}

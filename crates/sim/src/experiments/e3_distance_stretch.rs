@@ -30,7 +30,12 @@ pub fn run(quick: bool) -> Table {
     let mut table = Table::new(
         "E3 (Theorem 2.7): max distance-stretch of 𝒩 on civilized λ-precision graphs",
         &[
-            "n", "λ", "θ", "dist-stretch(𝒩)", "dist-stretch(𝒩₁/Yao)", "maxdeg(𝒩)",
+            "n",
+            "λ",
+            "θ",
+            "dist-stretch(𝒩)",
+            "dist-stretch(𝒩₁/Yao)",
+            "maxdeg(𝒩)",
         ],
     );
 

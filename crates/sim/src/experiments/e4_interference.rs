@@ -63,7 +63,11 @@ pub fn run(quick: bool) -> Table {
                 format!("{delta}"),
                 f2(i_theta),
                 f2(i_theta / (n as f64).log2()),
-                if n <= gstar_cap { f2(i_gstar) } else { "-".into() },
+                if n <= gstar_cap {
+                    f2(i_gstar)
+                } else {
+                    "-".into()
+                },
                 m_theta.to_string(),
                 m_gstar.to_string(),
             ]);

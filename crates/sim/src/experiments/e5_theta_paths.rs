@@ -48,7 +48,12 @@ pub fn run(quick: bool) -> Table {
     let mut table = Table::new(
         "E5 (Lemma 2.9 / Thm 2.8): θ-path replacement of non-interfering G* edge sets",
         &[
-            "n", "|T| set", "max congestion", "avg hops", "max hops", "max energy ratio",
+            "n",
+            "|T| set",
+            "max congestion",
+            "avg hops",
+            "max hops",
+            "max energy ratio",
         ],
     );
 

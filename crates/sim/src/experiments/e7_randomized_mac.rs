@@ -25,7 +25,13 @@ pub fn run(quick: bool) -> Table {
     let mut table = Table::new(
         "E7 (Lemma 3.2 / Thm 3.3): randomized MAC — conflict prob ≤ 1/2 and Ω(1/I) goodput",
         &[
-            "n", "rule", "I", "P[conflict]", "goodput/step", "no-interf goodput", "ratio",
+            "n",
+            "rule",
+            "I",
+            "P[conflict]",
+            "goodput/step",
+            "no-interf goodput",
+            "ratio",
             "1/(8I)",
         ],
     );
@@ -107,7 +113,10 @@ mod tests {
         assert!(!t.rows.is_empty());
         for row in &t.rows {
             let conflict_p: f64 = row[3].parse().unwrap();
-            assert!(conflict_p <= 0.55, "conflict probability {conflict_p} > 1/2");
+            assert!(
+                conflict_p <= 0.55,
+                "conflict probability {conflict_p} > 1/2"
+            );
             let ratio: f64 = row[6].parse().unwrap();
             let bound: f64 = row[7].parse().unwrap();
             // Theorem 3.3 shape: goodput ratio at least ~1/(8I).

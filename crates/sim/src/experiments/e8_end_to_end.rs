@@ -23,14 +23,24 @@ use std::f64::consts::PI;
 
 /// Run E8 and return the table.
 pub fn run(quick: bool) -> Table {
-    let sizes: &[usize] = if quick { &[60, 120] } else { &[60, 120, 240, 480] };
+    let sizes: &[usize] = if quick {
+        &[60, 120]
+    } else {
+        &[60, 120, 240, 480]
+    };
     let packets_per_node = 2;
     let passes = if quick { 40 } else { 120 };
 
     let mut table = Table::new(
         "E8 (Cor 3.4/3.5): ΘALG + (T,γ,I)-balancing vs OPT on G* — throughput ratio ~ 1/log n",
         &[
-            "n", "I(𝒩)", "OPT packets", "delivered", "delivered ratio", "rate ratio", "rate·I",
+            "n",
+            "I(𝒩)",
+            "OPT packets",
+            "delivered",
+            "delivered ratio",
+            "rate ratio",
+            "rate·I",
         ],
     );
 

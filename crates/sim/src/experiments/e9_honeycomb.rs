@@ -97,8 +97,7 @@ pub fn run(quick: bool) -> Table {
         let mut survived = 0usize;
         for _ in 0..trials {
             let out = mac.contest(&positions, &candidates, &mut rng);
-            let sel: Vec<Transmission> =
-                out.selected.iter().map(|&i| candidates[i].link).collect();
+            let sel: Vec<Transmission> = out.selected.iter().map(|&i| candidates[i].link).collect();
             for (k, _) in out.selected.iter().enumerate() {
                 selected_events += 1;
                 let me = sel[k];
@@ -107,8 +106,7 @@ pub fn run(quick: bool) -> Table {
                         let mut far = true;
                         for &x in &[me.a, me.b] {
                             for &y in &[other.a, other.b] {
-                                if positions[x as usize].dist(positions[y as usize])
-                                    <= 1.0 + delta
+                                if positions[x as usize].dist(positions[y as usize]) <= 1.0 + delta
                                 {
                                     far = false;
                                 }

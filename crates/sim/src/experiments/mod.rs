@@ -1,4 +1,4 @@
-//! Experiment runners E1–E19.
+//! Experiment runners E1–E20.
 //!
 //! The paper is theoretical: its "evaluation" is a set of theorems. Each
 //! experiment here regenerates one claim as a measured table (see
@@ -25,7 +25,9 @@
 //! | E17 | ablation — the cost term γ (γ=0 = prior cost-oblivious work) |
 //! | E18 | baseline contrast — greedy geographic forwarding vs balancing on voids |
 //! | E19 | Theorem 2.8 end-to-end — G*-schedule emulation on 𝒩, slowdown vs O(I) |
+//! | E20 | runtime — ΘALG + (T,γ)-balancing over faulty links (loss sweep) |
 
+pub mod e10_geometry;
 pub mod e11_mobility;
 pub mod e12_stale_heights;
 pub mod e13_spanner_probe;
@@ -36,6 +38,7 @@ pub mod e17_gamma_ablation;
 pub mod e18_geographic;
 pub mod e19_emulation;
 pub mod e1_degree;
+pub mod e20_runtime_faults;
 pub mod e2_energy_stretch;
 pub mod e3_distance_stretch;
 pub mod e4_interference;
@@ -44,7 +47,6 @@ pub mod e6_balancing;
 pub mod e7_randomized_mac;
 pub mod e8_end_to_end;
 pub mod e9_honeycomb;
-pub mod e10_geometry;
 pub mod table;
 
 pub use table::Table;
@@ -72,14 +74,15 @@ pub fn run_by_name(name: &str, quick: bool) -> Option<Table> {
         "e17" => Some(e17_gamma_ablation::run(quick)),
         "e18" => Some(e18_geographic::run(quick)),
         "e19" => Some(e19_emulation::run(quick)),
+        "e20" => Some(e20_runtime_faults::run(quick)),
         _ => None,
     }
 }
 
 /// All experiment ids in order.
-pub const ALL: [&str; 19] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
-    "e15", "e16", "e17", "e18", "e19",
+pub const ALL: [&str; 20] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
+    "e16", "e17", "e18", "e19", "e20",
 ];
 
 #[cfg(test)]

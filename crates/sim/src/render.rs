@@ -148,7 +148,10 @@ pub fn render_overlay_svg(
         let _ = writeln!(
             out,
             r##"<line x1="{:.2}" y1="{:.2}" x2="{:.2}" y2="{:.2}" stroke="#dddddd" stroke-width="0.6"/>"##,
-            vp.x(a), vp.y(a), vp.x(b), vp.y(b)
+            vp.x(a),
+            vp.y(a),
+            vp.x(b),
+            vp.y(b)
         );
     }
     for (u, v, _) in foreground.graph.edges() {
@@ -156,7 +159,10 @@ pub fn render_overlay_svg(
         let _ = writeln!(
             out,
             r##"<line x1="{:.2}" y1="{:.2}" x2="{:.2}" y2="{:.2}" stroke="#cc3333" stroke-width="1.4"/>"##,
-            vp.x(a), vp.y(a), vp.x(b), vp.y(b)
+            vp.x(a),
+            vp.y(a),
+            vp.x(b),
+            vp.y(b)
         );
     }
     for &p in &background.points {
@@ -191,10 +197,7 @@ pub fn render_hex_tiling_svg(points: &[Point], grid: HexGrid, size: f64) -> Stri
         for k in 0..6 {
             // pointy-top hexagon corners at 30° + 60°k
             let ang = std::f64::consts::FRAC_PI_6 + k as f64 * std::f64::consts::FRAC_PI_3;
-            let corner = Point::new(
-                c.x + grid.side() * ang.cos(),
-                c.y + grid.side() * ang.sin(),
-            );
+            let corner = Point::new(c.x + grid.side() * ang.cos(), c.y + grid.side() * ang.sin());
             if k > 0 {
                 path.push_str("L ");
             }
@@ -228,7 +231,9 @@ mod tests {
 
     fn sample_graph() -> SpatialGraph {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let points = NodeDistribution::unit_square().sample(30, &mut rng).unwrap();
+        let points = NodeDistribution::unit_square()
+            .sample(30, &mut rng)
+            .unwrap();
         unit_disk_graph(&points, 0.3)
     }
 
@@ -259,8 +264,7 @@ mod tests {
     #[test]
     fn overlay_draws_both_layers() {
         let sg = sample_graph();
-        let topo = adhoc_core::ThetaAlg::new(std::f64::consts::FRAC_PI_3, 0.3)
-            .build(&sg.points);
+        let topo = adhoc_core::ThetaAlg::new(std::f64::consts::FRAC_PI_3, 0.3).build(&sg.points);
         let svg = render_overlay_svg(&sg, &topo.spatial, 600.0);
         assert_eq!(
             svg.matches("<line").count(),

@@ -57,10 +57,7 @@ pub fn run_balancing_on_schedule(
                 }
             }
             edges_buf.clear();
-            edges_buf.extend(
-                hops.iter()
-                    .map(|h| ActiveEdge::new(h.from, h.to, h.cost)),
-            );
+            edges_buf.extend(hops.iter().map(|h| ActiveEdge::new(h.from, h.to, h.cost)));
             router.step(&edges_buf);
         }
     }
@@ -88,10 +85,7 @@ pub fn run_greedy_on_schedule(
                 }
             }
             edges_buf.clear();
-            edges_buf.extend(
-                hops.iter()
-                    .map(|h| ActiveEdge::new(h.from, h.to, h.cost)),
-            );
+            edges_buf.extend(hops.iter().map(|h| ActiveEdge::new(h.from, h.to, h.cost)));
             router.step(&edges_buf);
         }
     }

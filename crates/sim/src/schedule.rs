@@ -215,12 +215,7 @@ mod tests {
         assert_eq!(hops, s.total_path_len);
         let injected: usize = s.injections.iter().map(|v| v.len()).sum();
         assert_eq!(injected, s.packets);
-        let cost: f64 = s
-            .steps
-            .iter()
-            .flat_map(|v| v.iter())
-            .map(|h| h.cost)
-            .sum();
+        let cost: f64 = s.steps.iter().flat_map(|v| v.iter()).map(|h| h.cost).sum();
         assert!((cost - s.total_cost).abs() < 1e-9);
         assert!(s.l_bar() >= 1.0);
         assert!(s.c_bar() > 0.0);

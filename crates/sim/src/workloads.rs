@@ -48,7 +48,9 @@ impl Workload {
                         break;
                     }
                 }
-                (0..count).map(|i| (i as u32 % n as u32, perm[i % n])).collect()
+                (0..count)
+                    .map(|i| (i as u32 % n as u32, perm[i % n]))
+                    .collect()
             }
             Workload::SingleSink => {
                 let sink = rng.gen_range(0..n as u32);

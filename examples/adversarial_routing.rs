@@ -11,8 +11,8 @@
 //! ```
 
 use adhoc_net::prelude::*;
-use adhoc_net::sim::runner::run_greedy_on_schedule;
 use adhoc_net::sim::build_schedule_hops;
+use adhoc_net::sim::runner::run_greedy_on_schedule;
 use rand::rngs::StdRng;
 
 fn main() {

@@ -55,7 +55,10 @@ fn main() {
 
     // 5. Distance-stretch for comparison (Theorem 2.7 regime).
     let ds = distance_stretch(&topo.spatial, &gstar);
-    println!("distance-stretch:        max {:.3}, avg {:.3}", ds.max, ds.avg);
+    println!(
+        "distance-stretch:        max {:.3}, avg {:.3}",
+        ds.max, ds.avg
+    );
 
     // 6. Interference number (Lemma 2.10: O(log n) for uniform nodes).
     let model = InterferenceModel::new(0.5);
@@ -67,7 +70,12 @@ fn main() {
     );
 
     // 7. θ-path replacement (Theorem 2.8 machinery).
-    let some_edges: Vec<(u32, u32)> = gstar.graph.edges().take(5).map(|(u, v, _)| (u, v)).collect();
+    let some_edges: Vec<(u32, u32)> = gstar
+        .graph
+        .edges()
+        .take(5)
+        .map(|(u, v, _)| (u, v))
+        .collect();
     for (u, v) in some_edges {
         let path = replace_edge(&topo, u, v).unwrap();
         println!(

@@ -30,7 +30,10 @@ fn main() {
         .expect("deployment too dense");
     let range = default_max_range(n).max(4.0 * lambda);
     let gstar = unit_disk_graph(&points, range);
-    assert!(is_connected(&gstar.graph), "deployment not connected; re-seed");
+    assert!(
+        is_connected(&gstar.graph),
+        "deployment not connected; re-seed"
+    );
 
     // Base station = node nearest the center of the field.
     let center = Point::new(0.5, 0.5);

@@ -25,8 +25,11 @@
 //! * [`routing`] — the `(T,γ)`-balancing algorithm (§3.2), the
 //!   `(T,γ,I)` interference-aware variant (§3.3), the honeycomb router
 //!   (§3.4), and baselines.
+//! * [`runtime`] — deterministic message-passing node runtime with fault
+//!   injection: ΘALG and `(T,γ)`-balancing replayed as actor protocols
+//!   over lossy, delaying, duplicating links.
 //! * [`sim`] — OPT-by-construction adversaries, workloads, mobility, and
-//!   the experiment runners E1–E19 (`cargo run -p adhoc-sim --bin
+//!   the experiment runners E1–E20 (`cargo run -p adhoc-sim --bin
 //!   report`).
 //!
 //! ## Quickstart
@@ -58,6 +61,7 @@ pub use adhoc_graph as graph;
 pub use adhoc_interference as interference;
 pub use adhoc_proximity as proximity;
 pub use adhoc_routing as routing;
+pub use adhoc_runtime as runtime;
 pub use adhoc_sim as sim;
 
 /// Everything needed for typical use, one import away.
@@ -69,8 +73,8 @@ pub mod prelude {
     pub use adhoc_geom::distributions::NodeDistribution;
     pub use adhoc_geom::{default_max_range, HexGrid, Point, SectorPartition};
     pub use adhoc_graph::{
-        dijkstra, is_connected, min_cut_undirected, multi_source_min_cut, pairwise_stretch,
-        Graph, GraphBuilder,
+        dijkstra, is_connected, min_cut_undirected, multi_source_min_cut, pairwise_stretch, Graph,
+        GraphBuilder,
     };
     pub use adhoc_interference::{
         interference_number, tdma_schedule, ActivationRule, HoneycombMac, InterferenceModel,
@@ -82,8 +86,12 @@ pub mod prelude {
         SpatialGraph,
     };
     pub use adhoc_routing::{
-        ActiveEdge, AnycastRouter, BalancingConfig, BalancingRouter, GreedyRouter,
-        HoneycombConfig, HoneycombRouter, InterferenceRouter, StaleBalancingRouter, TracedRouter,
+        ActiveEdge, AnycastRouter, BalancingConfig, BalancingRouter, GreedyRouter, HoneycombConfig,
+        HoneycombRouter, InterferenceRouter, StaleBalancingRouter, TracedRouter,
+    };
+    pub use adhoc_runtime::{
+        edge_fidelity, run_gossip_balancing, run_theta_protocol, uniform_workload, FaultConfig,
+        GossipConfig, Runtime, ThetaTiming,
     };
     pub use adhoc_sim::{build_schedule, run_balancing_on_schedule, ScenarioConfig, Workload};
     pub use rand::SeedableRng;

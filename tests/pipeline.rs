@@ -126,10 +126,7 @@ fn every_baseline_topology_has_stretch_at_least_one() {
     ];
     for (name, sg) in &structures {
         let st = energy_stretch(sg, &gstar, 2.0);
-        assert!(
-            st.connectivity_preserved(),
-            "{name} lost connectivity"
-        );
+        assert!(st.connectivity_preserved(), "{name} lost connectivity");
         assert!(st.max >= 1.0 - 1e-9, "{name} stretch below 1");
     }
 }

@@ -6,12 +6,16 @@
 use adhoc_net::prelude::*;
 use proptest::prelude::*;
 
+/// One adversarial step: (u, v, cost) activations and (src, dst)
+/// injections.
+type ScriptStep = (Vec<(u32, u32, f64)>, Vec<(u32, u32)>);
+
 /// An arbitrary adversarial script: per step, a set of (u, v, cost)
 /// activations and a set of injections.
 #[derive(Debug, Clone)]
 struct Script {
     n: usize,
-    steps: Vec<(Vec<(u32, u32, f64)>, Vec<(u32, u32)>)>,
+    steps: Vec<ScriptStep>,
 }
 
 fn arb_script() -> impl Strategy<Value = Script> {
@@ -23,8 +27,7 @@ fn arb_script() -> impl Strategy<Value = Script> {
             proptest::collection::vec(edge, 0..6),
             proptest::collection::vec(inj, 0..4),
         );
-        proptest::collection::vec(step, 1..40)
-            .prop_map(move |steps| Script { n, steps })
+        proptest::collection::vec(step, 1..40).prop_map(move |steps| Script { n, steps })
     })
 }
 

@@ -1,0 +1,90 @@
+//! Property-based tests on the adhoc-runtime subsystem: determinism
+//! (identical seeds ⇒ identical replay transcripts) and exactness (the
+//! hardened ΘALG protocol over lossy links reconstructs the direct
+//! construction's `𝒩` whenever the loss rate is within the retransmit
+//! budget).
+
+use adhoc_net::prelude::*;
+use proptest::prelude::*;
+
+fn dedup_points(raw: &[(f64, f64)]) -> Vec<Point> {
+    // Coincident points would make nearest-per-sector ties depend on ids
+    // alone, which is fine, but keep the geometry in general position by
+    // nudging exact duplicates apart deterministically.
+    let mut pts: Vec<Point> = Vec::with_capacity(raw.len());
+    for (i, &(x, y)) in raw.iter().enumerate() {
+        let mut p = Point::new(x, y);
+        if pts.iter().any(|q| q.x == p.x && q.y == p.y) {
+            p = Point::new(x + (i as f64 + 1.0) * 1e-9, y);
+        }
+        pts.push(p);
+    }
+    pts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Same seed ⇒ bit-identical replay: equal transcript digests, equal
+    /// stats, equal graphs — for both ported protocols.
+    #[test]
+    fn same_seed_same_transcript(
+        raw in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 10..30),
+        loss in 0.0f64..0.4,
+        seed in 0u64..1_000_000
+    ) {
+        let points = dedup_points(&raw);
+        let range = default_max_range(points.len());
+        let sectors = SectorPartition::with_max_angle(std::f64::consts::FRAC_PI_3);
+        let faults = FaultConfig::lossy(loss);
+
+        let a = run_theta_protocol(&points, sectors, range, ThetaTiming::default(), faults, seed);
+        let b = run_theta_protocol(&points, sectors, range, ThetaTiming::default(), faults, seed);
+        prop_assert_eq!(a.digest, b.digest);
+        prop_assert_eq!(&a.stats, &b.stats);
+        prop_assert_eq!(&a.graph.graph, &b.graph.graph);
+
+        let dests = [0u32];
+        let wl = uniform_workload(points.len(), &dests, 50, 1, seed);
+        let cfg = GossipConfig::new(
+            BalancingConfig { threshold: 0.5, gamma: 0.1, capacity: 20 },
+            50,
+        );
+        let ga = run_gossip_balancing(&a.graph, &dests, cfg, &wl, faults, seed);
+        let gb = run_gossip_balancing(&b.graph, &dests, cfg, &wl, faults, seed);
+        prop_assert_eq!(ga.digest, gb.digest);
+        prop_assert_eq!(ga.absorbed, gb.absorbed);
+        prop_assert!(ga.conserved());
+    }
+
+    /// Whenever loss stays within the retransmit budget (16 tries per
+    /// message at the default timing), the protocol's `𝒩` equals the
+    /// direct `ThetaAlg::build` graph *exactly* — the paper's 3-round
+    /// locality claim survives unreliable radios.
+    #[test]
+    fn lossy_theta_equals_direct_construction(
+        raw in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 8..28),
+        loss in 0.0f64..0.25,
+        seed in 0u64..1_000_000
+    ) {
+        let points = dedup_points(&raw);
+        let range = default_max_range(points.len());
+        let alg = ThetaAlg::new(std::f64::consts::FRAC_PI_3, range);
+        let direct = alg.build(&points);
+        let run = run_theta_protocol(
+            &points,
+            alg.sectors(),
+            range,
+            ThetaTiming::default(),
+            FaultConfig::lossy(loss),
+            seed,
+        );
+        prop_assert_eq!(
+            &direct.spatial.graph,
+            &run.graph.graph,
+            "loss {} within budget must reconstruct exactly",
+            loss
+        );
+        prop_assert_eq!(edge_fidelity(&direct.spatial, &run.graph), 1.0);
+    }
+}

@@ -6,11 +6,14 @@
 use adhoc_net::prelude::*;
 use proptest::prelude::*;
 
+/// One adversarial step: the active edge set and the injection sources.
+type ScriptStep = (Vec<(u32, u32, f64)>, Vec<u32>);
+
 /// An adversarial script over a small node set.
 #[derive(Debug, Clone)]
 struct Script {
     n: usize,
-    steps: Vec<(Vec<(u32, u32, f64)>, Vec<u32>)>, // (active edges, injection sources)
+    steps: Vec<ScriptStep>,
 }
 
 fn arb_script() -> impl Strategy<Value = Script> {
@@ -113,7 +116,8 @@ proptest! {
         group_size in 1usize..3
     ) {
         let members: Vec<u32> = (0..group_size as u32).collect();
-        let mut router = AnycastRouter::new(script.n, &[members.clone()], 0.5, 0.1, 8);
+        let mut router =
+            AnycastRouter::new(script.n, std::slice::from_ref(&members), 0.5, 0.1, 8);
         for (edges, injs) in &script.steps {
             for &s in injs {
                 router.inject(s, 0);

@@ -1,0 +1,352 @@
+//! Offline vendored shim of `criterion`. Implements the harness API the
+//! workspace's benches use (`criterion_group!`/`criterion_main!`,
+//! benchmark groups with `measurement_time`/`warm_up_time`/
+//! `sample_size`, `bench_function`, `bench_with_input`, `Bencher::iter`,
+//! `BenchmarkId`) with straightforward wall-clock measurement: warm up,
+//! then run batches until the measurement budget is spent, and print
+//! mean / min / max per-iteration time. No plots, no statistics engine.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export for benches importing it from criterion.
+pub use std::hint::black_box;
+
+/// The benchmark harness handle.
+pub struct Criterion {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Upstream disables gnuplot/plotters output; a no-op here.
+    pub fn without_plots(self) -> Self {
+        self
+    }
+
+    /// Default measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Default warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Default sample count.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            sample_size: self.sample_size,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    /// Run a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = id.into_benchmark_id().render();
+        run_benchmark(
+            &full,
+            self.warm_up_time,
+            self.measurement_time,
+            self.sample_size,
+            f,
+        );
+        self
+    }
+}
+
+/// A group of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_size: usize,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Measurement budget for benchmarks in this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up budget for benchmarks in this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().render());
+        run_benchmark(
+            &full,
+            self.warm_up_time,
+            self.measurement_time,
+            self.sample_size,
+            f,
+        );
+        self
+    }
+
+    /// Benchmark a closure given a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().render());
+        run_benchmark(
+            &full,
+            self.warm_up_time,
+            self.measurement_time,
+            self.sample_size,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Finish the group (prints nothing extra in the shim).
+    pub fn finish(self) {}
+}
+
+/// A function+parameter benchmark identifier.
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// Identify a benchmark by function name and parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// Identify a benchmark by parameter only.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self) -> String {
+        match (&self.function, &self.parameter) {
+            (f, Some(p)) if f.is_empty() => p.clone(),
+            (f, Some(p)) => format!("{f}/{p}"),
+            (f, None) => f.clone(),
+        }
+    }
+}
+
+/// Things accepted as benchmark identifiers.
+pub trait IntoBenchmarkId {
+    /// Convert into a [`BenchmarkId`].
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            function: self.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            function: self,
+            parameter: None,
+        }
+    }
+}
+
+/// Passed to benchmark closures; times the measured routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, running it `self.iters` times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F>(
+    name: &str,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up & calibration: run single iterations until the warm-up
+    // budget is spent to estimate per-iteration cost.
+    let warm_start = Instant::now();
+    let mut calib_iters: u64 = 0;
+    let mut calib_time = Duration::ZERO;
+    while warm_start.elapsed() < warm_up || calib_iters == 0 {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        calib_time += b.elapsed;
+        calib_iters += 1;
+        if calib_iters >= 1000 {
+            break;
+        }
+    }
+    let per_iter = calib_time
+        .checked_div(calib_iters as u32)
+        .unwrap_or_default();
+
+    // Choose iterations per sample so that all samples fit the budget.
+    let samples = sample_size.max(2) as u64;
+    let budget_per_sample = measurement.checked_div(samples as u32).unwrap_or_default();
+    let iters = if per_iter.is_zero() {
+        1000
+    } else {
+        (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+    };
+
+    let mut times: Vec<f64> = Vec::with_capacity(samples as usize);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        times.push(b.elapsed.as_secs_f64() / iters as f64);
+    }
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = times.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "{name:<60} time: [{} {} {}]  ({} samples x {} iters)",
+        format_time(min),
+        format_time(mean),
+        format_time(max),
+        samples,
+        iters
+    );
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.4} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.4} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.4} µs", seconds * 1e6)
+    } else {
+        format!("{:.4} ns", seconds * 1e9)
+    }
+}
+
+/// Group benchmark functions into a single runner, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Entry point running one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default()
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(1));
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        let mut ran = false;
+        g.bench_function(BenchmarkId::new("noop", 1), |b| {
+            ran = true;
+            b.iter(|| 1 + 1)
+        });
+        g.finish();
+        assert!(ran);
+    }
+}

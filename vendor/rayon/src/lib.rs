@@ -1,0 +1,186 @@
+//! Offline vendored shim of the `rayon` parallel-iterator API used in
+//! this workspace. The container building this repo has no network
+//! access, so this crate stands in for rayon with **sequential**
+//! execution behind the identical call-site syntax
+//! (`par_iter().map(..).reduce(id, op)` etc.).
+//!
+//! Every adapter is a thin wrapper over the corresponding
+//! `std::iter` adapter; results are bit-identical to rayon's because
+//! all combining operations used in the workspace are associative.
+
+/// A "parallel" iterator — sequential in this shim.
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> ParIter<I> {
+    /// Map each element.
+    pub fn map<F, T>(self, f: F) -> ParIter<std::iter::Map<I, F>>
+    where
+        F: FnMut(I::Item) -> T,
+    {
+        ParIter(self.0.map(f))
+    }
+
+    /// Keep elements satisfying `f`.
+    pub fn filter<F>(self, f: F) -> ParIter<std::iter::Filter<I, F>>
+    where
+        F: FnMut(&I::Item) -> bool,
+    {
+        ParIter(self.0.filter(f))
+    }
+
+    /// Map then flatten.
+    pub fn flat_map<F, U>(self, f: F) -> ParIter<std::iter::FlatMap<I, U, F>>
+    where
+        F: FnMut(I::Item) -> U,
+        U: IntoIterator,
+    {
+        ParIter(self.0.flat_map(f))
+    }
+
+    /// Rayon-style reduce: fold from `identity()` with an associative
+    /// operator. (Note the signature differs from `Iterator::reduce`.)
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    /// Run `f` on every element.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: FnMut(I::Item),
+    {
+        self.0.for_each(f)
+    }
+
+    /// Collect into any `FromIterator` collection.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<I::Item>,
+    {
+        self.0.collect()
+    }
+
+    /// Sum of all elements.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<I::Item>,
+    {
+        self.0.sum()
+    }
+
+    /// Number of elements.
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    /// Maximum element.
+    pub fn max(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.max()
+    }
+
+    /// Minimum element.
+    pub fn min(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.min()
+    }
+
+    /// Rayon tuning hint; a no-op here.
+    pub fn with_min_len(self, _len: usize) -> Self {
+        self
+    }
+}
+
+/// Conversion of owned collections into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item;
+    /// Underlying sequential iterator.
+    type Iter: Iterator<Item = Self::Item>;
+
+    /// rayon's `into_par_iter`.
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl<C: IntoIterator> IntoParallelIterator for C {
+    type Item = C::Item;
+    type Iter = C::IntoIter;
+
+    fn into_par_iter(self) -> ParIter<C::IntoIter> {
+        ParIter(self.into_iter())
+    }
+}
+
+/// Conversion of `&collection` into a parallel iterator (`par_iter`).
+pub trait IntoParallelRefIterator<'data> {
+    /// Element type (a reference).
+    type Item;
+    /// Underlying sequential iterator.
+    type Iter: Iterator<Item = Self::Item>;
+
+    /// rayon's `par_iter`.
+    fn par_iter(&'data self) -> ParIter<Self::Iter>;
+}
+
+impl<'data, C: ?Sized> IntoParallelRefIterator<'data> for C
+where
+    &'data C: IntoIterator,
+    C: 'data,
+{
+    type Item = <&'data C as IntoIterator>::Item;
+    type Iter = <&'data C as IntoIterator>::IntoIter;
+
+    fn par_iter(&'data self) -> ParIter<Self::Iter> {
+        ParIter(self.into_iter())
+    }
+}
+
+/// The usual glob import.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+/// rayon's fork-join primitive; runs sequentially here.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_reduce_matches_sequential() {
+        let total = (0u64..100)
+            .into_par_iter()
+            .map(|x| x * x)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, (0u64..100).map(|x| x * x).sum::<u64>());
+    }
+
+    #[test]
+    fn par_iter_over_vec_refs() {
+        let v = vec![1u32, 2, 3];
+        let doubled: Vec<u32> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+        // v untouched
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = super::join(|| 2 + 2, || "ok");
+        assert_eq!((a, b), (4, "ok"));
+    }
+}

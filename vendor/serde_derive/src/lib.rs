@@ -1,0 +1,389 @@
+//! Offline vendored shim of `serde_derive`.
+//!
+//! Because the build container has no access to crates.io, neither
+//! `syn` nor `quote` is available; this macro parses the derive input
+//! token stream by hand. It supports exactly the type shapes used in
+//! the adhoc-net workspace:
+//!
+//! * structs with named fields (no generics),
+//! * enums whose variants are unit, named-field, or tuple variants.
+//!
+//! The generated impls target the `serde` shim's concrete
+//! `Value`-based `Serialize`/`Deserialize` traits and use serde's
+//! externally-tagged enum representation (`"Variant"` for unit
+//! variants, `{"Variant": {...}}`/`{"Variant": [...]}` otherwise), so
+//! JSON artifacts stay compatible with upstream serde.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+#[derive(Debug)]
+enum Input {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derive `serde::Serialize` (shim).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let code = match &parsed {
+        Input::Struct { name, fields } => gen_struct_serialize(name, fields),
+        Input::Enum { name, variants } => gen_enum_serialize(name, variants),
+    };
+    code.parse()
+        .expect("serde_derive shim generated invalid Serialize impl")
+}
+
+/// Derive `serde::Deserialize` (shim).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let code = match &parsed {
+        Input::Struct { name, fields } => gen_struct_deserialize(name, fields),
+        Input::Enum { name, variants } => gen_enum_deserialize(name, variants),
+    };
+    code.parse()
+        .expect("serde_derive shim generated invalid Deserialize impl")
+}
+
+// ---- parsing -----------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive shim: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic types are not supported (type `{name}`)");
+    }
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(_) => i += 1, // e.g. `where` clauses are not expected, but skip defensively
+            None => panic!(
+                "serde_derive shim: `{name}` has no braced body (tuple/unit structs unsupported)"
+            ),
+        }
+    };
+    match kind.as_str() {
+        "struct" => Input::Struct {
+            name,
+            fields: parse_named_fields(body),
+        },
+        "enum" => Input::Enum {
+            name,
+            variants: parse_variants(body),
+        },
+        other => panic!("serde_derive shim: unsupported item kind `{other}`"),
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // pub(crate) etc.
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(field)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(field.to_string());
+        i += 1;
+        assert!(
+            matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':'),
+            "serde_derive shim: expected `:` after field `{}`",
+            fields.last().unwrap()
+        );
+        // Skip the type: consume until a top-level comma. Groups are
+        // single token trees, so nested commas are already hidden.
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            break;
+        };
+        let name = name.to_string();
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                i += 1;
+                VariantShape::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                i += 1;
+                VariantShape::Tuple(arity)
+            }
+            _ => VariantShape::Unit,
+        };
+        variants.push(Variant { name, shape });
+        // Skip to the comma separating variants (covers `= discr` too).
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+    }
+    variants
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+            count += 1;
+            trailing_comma = true;
+        } else {
+            trailing_comma = false;
+        }
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+// ---- codegen -----------------------------------------------------------
+
+fn gen_struct_serialize(name: &str, fields: &[String]) -> String {
+    let pushes: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), ::serde::Serialize::serialize_value(&self.{f})),"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(::std::vec![{pushes}])\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_struct_deserialize(name: &str, fields: &[String]) -> String {
+    let builds: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::deserialize_value(v.get(\"{f}\")\
+                     .ok_or_else(|| ::serde::Error::missing_field(\"{f}\"))?)?,"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 if v.as_object().is_none() {{\n\
+                     return ::std::result::Result::Err(::serde::Error::type_mismatch(\"object\", v));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name} {{ {builds} }})\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_enum_serialize(name: &str, variants: &[Variant]) -> String {
+    let arms: String = variants
+        .iter()
+        .map(|v| {
+            let vn = &v.name;
+            match &v.shape {
+                VariantShape::Unit => format!(
+                    "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+                ),
+                VariantShape::Named(fields) => {
+                    let binds = fields.join(", ");
+                    let pairs: String = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(::std::string::String::from(\"{f}\"), ::serde::Serialize::serialize_value({f})),"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(::std::vec![\
+                             (::std::string::String::from(\"{vn}\"), ::serde::Value::Object(::std::vec![{pairs}]))]),"
+                    )
+                }
+                VariantShape::Tuple(1) => format!(
+                    "{name}::{vn}(x0) => ::serde::Value::Object(::std::vec![\
+                         (::std::string::String::from(\"{vn}\"), ::serde::Serialize::serialize_value(x0))]),"
+                ),
+                VariantShape::Tuple(k) => {
+                    let binds: Vec<String> = (0..*k).map(|j| format!("x{j}")).collect();
+                    let items: String = binds
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::serialize_value({b}),"))
+                        .collect();
+                    format!(
+                        "{name}::{vn}({}) => ::serde::Value::Object(::std::vec![\
+                             (::std::string::String::from(\"{vn}\"), ::serde::Value::Array(::std::vec![{items}]))]),",
+                        binds.join(", ")
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize_value(&self) -> ::serde::Value {{\n\
+                 match self {{ {arms} }}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|v| matches!(v.shape, VariantShape::Unit))
+        .map(|v| {
+            let vn = &v.name;
+            format!("\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),")
+        })
+        .collect();
+    let tagged_arms: String = variants
+        .iter()
+        .filter_map(|v| {
+            let vn = &v.name;
+            match &v.shape {
+                VariantShape::Unit => None,
+                VariantShape::Named(fields) => {
+                    let builds: String = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::deserialize_value(inner.get(\"{f}\")\
+                                     .ok_or_else(|| ::serde::Error::missing_field(\"{f}\"))?)?,"
+                            )
+                        })
+                        .collect();
+                    Some(format!(
+                        "\"{vn}\" => {{\n\
+                             if inner.as_object().is_none() {{\n\
+                                 return ::std::result::Result::Err(::serde::Error::type_mismatch(\"object\", inner));\n\
+                             }}\n\
+                             ::std::result::Result::Ok({name}::{vn} {{ {builds} }})\n\
+                         }}"
+                    ))
+                }
+                VariantShape::Tuple(1) => Some(format!(
+                    "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                         ::serde::Deserialize::deserialize_value(inner)?)),"
+                )),
+                VariantShape::Tuple(k) => {
+                    let builds: String = (0..*k)
+                        .map(|j| {
+                            format!("::serde::Deserialize::deserialize_value(&items[{j}])?,")
+                        })
+                        .collect();
+                    Some(format!(
+                        "\"{vn}\" => match inner {{\n\
+                             ::serde::Value::Array(items) if items.len() == {k} =>\n\
+                                 ::std::result::Result::Ok({name}::{vn}({builds})),\n\
+                             other => ::std::result::Result::Err(::serde::Error::type_mismatch(\"{k}-element array\", other)),\n\
+                         }},"
+                    ))
+                }
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 match v {{\n\
+                     ::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {unit_arms}\n\
+                         other => ::std::result::Result::Err(::serde::Error::custom(\
+                             ::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(pairs) if pairs.len() == 1 => {{\n\
+                         let (tag, inner) = &pairs[0];\n\
+                         match tag.as_str() {{\n\
+                             {tagged_arms}\n\
+                             other => ::std::result::Result::Err(::serde::Error::custom(\
+                                 ::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     other => ::std::result::Result::Err(::serde::Error::type_mismatch(\"{name} variant\", other)),\n\
+                 }}\n\
+             }}\n\
+         }}"
+    )
+}

@@ -1,0 +1,368 @@
+//! Offline vendored shim of `serde_json`: renders and parses standard
+//! JSON against the `serde` shim's [`Value`] data model. Numbers print
+//! with Rust's shortest-round-trip float formatting, so
+//! serialize→parse round trips are exact for every finite `f64`.
+
+pub use serde::Value;
+use serde::{Deserialize, Serialize};
+
+/// JSON (de)serialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error(e.to_string())
+    }
+}
+
+/// Serialize to compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.serialize_value(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Serialize to pretty JSON (2-space indent, like upstream).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.serialize_value(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+/// Parse a value of type `T` from JSON text.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse_value_complete(s)?;
+    Ok(T::deserialize_value(&value)?)
+}
+
+/// Parse JSON text into a [`Value`] tree.
+pub fn parse_value_complete(s: &str) -> Result<Value, Error> {
+    let bytes = s.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error(format!("trailing characters at byte {pos}")));
+    }
+    Ok(value)
+}
+
+// ---- emitter -----------------------------------------------------------
+
+fn write_value(v: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::I64(x) => out.push_str(&x.to_string()),
+        Value::U64(x) => out.push_str(&x.to_string()),
+        Value::F64(x) => write_f64(*x, out),
+        Value::Str(s) => write_string(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent, depth + 1, out);
+                write_value(item, indent, depth + 1, out);
+            }
+            newline_indent(indent, depth, out);
+            out.push(']');
+        }
+        Value::Object(pairs) => {
+            if pairs.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent, depth + 1, out);
+                write_string(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(item, indent, depth + 1, out);
+            }
+            newline_indent(indent, depth, out);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(indent: Option<usize>, depth: usize, out: &mut String) {
+    if let Some(w) = indent {
+        out.push('\n');
+        for _ in 0..w * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_f64(x: f64, out: &mut String) {
+    if x.is_finite() {
+        let s = x.to_string();
+        out.push_str(&s);
+        // Keep a float marker so the value parses back as F64.
+        if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+            out.push_str(".0");
+        }
+    } else {
+        // JSON has no Inf/NaN; upstream serde_json emits null.
+        out.push_str("null");
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---- parser ------------------------------------------------------------
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(Error("unexpected end of input".into())),
+        Some(b'n') => parse_lit(b, pos, "null", Value::Null),
+        Some(b't') => parse_lit(b, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Value::Bool(false)),
+        Some(b'"') => Ok(Value::Str(parse_string(b, pos)?)),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(Error(format!("expected ',' or ']' at byte {pos}"))),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(pairs));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(Error(format!("expected ':' at byte {pos}")));
+                }
+                *pos += 1;
+                let value = parse_value(b, pos)?;
+                pairs.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(pairs));
+                    }
+                    _ => return Err(Error(format!("expected ',' or '}}' at byte {pos}"))),
+                }
+            }
+        }
+        Some(c) if *c == b'-' || c.is_ascii_digit() => parse_number(b, pos),
+        Some(c) => Err(Error(format!("unexpected byte {c:#x} at {pos}"))),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, value: Value) -> Result<Value, Error> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(Error(format!("invalid literal at byte {pos}")))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, Error> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(Error(format!("expected string at byte {pos}")));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err(Error("unterminated string".into())),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| Error("truncated \\u escape".into()))?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|_| Error("bad \\u escape".into()))?,
+                            16,
+                        )
+                        .map_err(|_| Error("bad \\u escape".into()))?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(Error(format!("bad escape at byte {pos}"))),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is a &str, so valid).
+                let start = *pos;
+                *pos += 1;
+                while *pos < b.len() && (b[*pos] & 0xC0) == 0x80 {
+                    *pos += 1;
+                }
+                out.push_str(std::str::from_utf8(&b[start..*pos]).unwrap());
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).unwrap();
+    if !is_float {
+        if text.starts_with('-') {
+            if let Ok(x) = text.parse::<i64>() {
+                return Ok(Value::I64(x));
+            }
+        } else if let Ok(x) = text.parse::<u64>() {
+            return Ok(Value::U64(x));
+        }
+    }
+    text.parse::<f64>()
+        .map(Value::F64)
+        .map_err(|_| Error(format!("invalid number `{text}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_roundtrip() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::U64(7)),
+            ("b".into(), Value::F64(0.1)),
+            (
+                "c".into(),
+                Value::Array(vec![Value::Null, Value::Bool(true)]),
+            ),
+            ("s".into(), Value::Str("x \"quoted\"\n".into())),
+            ("neg".into(), Value::I64(-3)),
+        ]);
+        let text = {
+            let mut out = String::new();
+            super::write_value(&v, Some(2), 0, &mut out);
+            out
+        };
+        assert_eq!(parse_value_complete(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn floats_roundtrip_exactly() {
+        for x in [0.1, 1.0 / 3.0, std::f64::consts::FRAC_PI_3, 1e-300, -2.5] {
+            let text = to_string(&x).unwrap();
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(back, x, "{text}");
+        }
+    }
+
+    #[test]
+    fn integral_floats_keep_marker() {
+        let text = to_string(&2.0f64).unwrap();
+        assert_eq!(text, "2.0");
+        let v = parse_value_complete("2.0").unwrap();
+        assert_eq!(v, Value::F64(2.0));
+    }
+
+    #[test]
+    fn big_u64_exact() {
+        let x = u64::MAX - 3;
+        let text = to_string(&x).unwrap();
+        let back: u64 = from_str(&text).unwrap();
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(from_str::<bool>("true false").is_err());
+    }
+}
