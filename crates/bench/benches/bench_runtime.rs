@@ -7,7 +7,7 @@ use adhoc_core::ThetaAlg;
 use adhoc_routing::BalancingConfig;
 use adhoc_runtime::{
     run_gossip_balancing, run_theta_protocol, uniform_workload, FaultConfig, GossipConfig,
-    ThetaTiming,
+    ReliableConfig, ThetaTiming,
 };
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::f64::consts::FRAC_PI_3;
@@ -65,6 +65,24 @@ fn bench(c: &mut Criterion) {
                         &topo.spatial,
                         &dests,
                         cfg,
+                        &workload,
+                        FaultConfig::lossy(loss),
+                        7,
+                    ))
+                });
+            },
+        );
+        // Same runs with packet traffic on the reliable sublayer: the
+        // marginal cost of windows, acks, and retransmit timers.
+        g.bench_with_input(
+            BenchmarkId::new("gossip_balancing_reliable", format!("loss={loss}")),
+            &loss,
+            |b, &loss| {
+                b.iter(|| {
+                    black_box(run_gossip_balancing(
+                        &topo.spatial,
+                        &dests,
+                        cfg.with_reliability(ReliableConfig::default()),
                         &workload,
                         FaultConfig::lossy(loss),
                         7,

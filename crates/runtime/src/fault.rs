@@ -32,7 +32,12 @@ impl DelayDist {
             DelayDist::Fixed(d) => d.max(1),
             DelayDist::Uniform { min, max } => {
                 assert!(max >= min, "DelayDist::Uniform requires max ≥ min");
-                rng.gen_range(min..=max).max(1)
+                // Clamp the *bounds* before sampling: drawing from
+                // `min..=max` and then flooring at 1 would silently pile
+                // the probability mass of every sub-1 value onto delay 1,
+                // skewing the distribution (e.g. `min: 0` doubles it).
+                let lo = min.max(1);
+                rng.gen_range(lo..=max.max(lo))
             }
         }
     }
@@ -174,13 +179,29 @@ mod tests {
 
     #[test]
     fn uniform_delay_in_bounds_and_positive() {
+        // Frequency test: `min: 0` must *not* double the mass on delay 1
+        // (the old `gen_range(0..=max).max(1)` bug gave delay 1 a 2/6
+        // share instead of 1/5).
         let mut rng = ChaCha8Rng::seed_from_u64(4);
         let d = DelayDist::Uniform { min: 0, max: 5 };
-        for _ in 0..1000 {
+        let n = 50_000u32;
+        let mut counts = [0u32; 6];
+        for _ in 0..n {
             let s = d.sample(&mut rng);
             assert!((1..=5).contains(&s));
+            counts[s as usize] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        for (v, &c) in counts.iter().enumerate().skip(1) {
+            let freq = c as f64 / n as f64;
+            assert!(
+                (freq - 0.2).abs() < 0.01,
+                "delay {v} frequency {freq}, expected ≈ 0.2"
+            );
         }
         assert_eq!(DelayDist::Fixed(0).sample(&mut rng), 1);
+        // Degenerate all-sub-1 ranges still produce the clamped value.
+        assert_eq!(DelayDist::Uniform { min: 0, max: 0 }.sample(&mut rng), 1);
     }
 
     #[test]

@@ -20,6 +20,7 @@
 
 use crate::fault::FaultConfig;
 use crate::node::{Actor, Ctx, Message};
+use crate::reliable::{ReliableActor, ReliableConfig};
 use crate::runtime::Runtime;
 use crate::stats::NetStats;
 use adhoc_proximity::SpatialGraph;
@@ -35,8 +36,15 @@ const TIMER_STEP: u32 = 1;
 #[derive(Debug, Clone, PartialEq)]
 pub enum GossipMsg {
     /// Height gossip: the sender's buffer heights, one per destination
-    /// (indexed like the shared destination list).
-    Heights(Vec<u32>),
+    /// (indexed like the shared destination list), stamped with the
+    /// sender's routing step so reordered deliveries can't roll a cache
+    /// back to staler values.
+    Heights {
+        /// The sender's routing step when the gossip was emitted.
+        step: u64,
+        /// The sender's buffer heights at that step.
+        heights: Vec<u32>,
+    },
     /// One data packet bound for `dest`; `seq` is unique per sender so
     /// receivers can discard duplicated deliveries.
     Packet {
@@ -50,10 +58,18 @@ pub enum GossipMsg {
 impl Message for GossipMsg {
     fn kind(&self) -> &'static str {
         match self {
-            GossipMsg::Heights(_) => "heights",
+            GossipMsg::Heights { .. } => "heights",
             GossipMsg::Packet { .. } => "packet",
         }
     }
+}
+
+/// Reliability predicate for the balancing protocol: data packets ride
+/// the reliable sublayer, heights gossip stays best-effort — a stale
+/// height retransmitted late is worth less than the next periodic
+/// refresh, and §3.2's guarantee only needs the *packets* to survive.
+fn needs_reliability(msg: &GossipMsg) -> bool {
+    matches!(msg, GossipMsg::Packet { .. })
 }
 
 /// Parameters of a gossip-balancing run.
@@ -70,22 +86,37 @@ pub struct GossipConfig {
     /// Virtual ticks per routing step; link delays shorter than this keep
     /// gossip one step stale, longer delays increase staleness.
     pub step_len: u64,
+    /// When set, `Packet` traffic rides the per-link reliable-delivery
+    /// sublayer ([`crate::reliable`]) with these parameters; heights
+    /// gossip stays best-effort either way. `None` = fire-and-forget.
+    pub reliability: Option<ReliableConfig>,
 }
 
 impl GossipConfig {
-    /// Sensible defaults: gossip every step, 8-tick steps.
+    /// Sensible defaults: gossip every step, 8-tick steps,
+    /// fire-and-forget links.
     pub fn new(balancing: BalancingConfig, steps: u64) -> Self {
         GossipConfig {
             balancing,
             refresh_every: 1,
             steps,
             step_len: 8,
+            reliability: None,
         }
+    }
+
+    /// Route `Packet` traffic through the reliable sublayer.
+    pub fn with_reliability(mut self, reliability: ReliableConfig) -> Self {
+        self.reliability = Some(reliability);
+        self
     }
 
     fn validate(&self) {
         assert!(self.refresh_every >= 1, "refresh_every must be ≥ 1");
         assert!(self.step_len >= 2, "step_len must be ≥ 2");
+        if let Some(r) = &self.reliability {
+            r.validate();
+        }
     }
 }
 
@@ -99,8 +130,10 @@ pub struct GossipNode {
     dests: Vec<u32>,
     /// Own buffer heights, one per destination.
     heights: Vec<u32>,
-    /// Latest gossiped heights per neighbor.
-    cached: BTreeMap<u32, Vec<u32>>,
+    /// Freshest gossiped heights per neighbor, tagged with the sender
+    /// step that produced them — the tag is what lets `on_message` refuse
+    /// reordered (older) gossip instead of overwriting fresher state.
+    cached: BTreeMap<u32, (u64, Vec<u32>)>,
     /// `(sender << 32) | seq` of every packet already accepted.
     seen: HashSet<u64>,
     /// Injections scheduled for this node: `(step, dest)`, sorted by step.
@@ -130,6 +163,8 @@ pub struct NodeCounts {
     pub packets_received: u64,
     /// Height gossips sent.
     pub gossips_sent: u64,
+    /// Reordered (out-of-date) height gossips discarded on receipt.
+    pub stale_gossip_dropped: u64,
 }
 
 impl GossipNode {
@@ -171,7 +206,7 @@ impl GossipNode {
             let hw = if w == d {
                 0
             } else {
-                cached.map_or(0, |h| h[c])
+                cached.map_or(0, |(_, h)| h[c])
             };
             let value = self.heights[c] as f64 - hw as f64 - cost * self.cfg.balancing.gamma;
             if value > self.cfg.balancing.threshold && best.is_none_or(|(bv, _)| value > bv) {
@@ -191,7 +226,13 @@ impl GossipNode {
         }
         if self.step.is_multiple_of(self.cfg.refresh_every) {
             for &(w, _) in &self.nbrs {
-                ctx.send(w, GossipMsg::Heights(self.heights.clone()));
+                ctx.send(
+                    w,
+                    GossipMsg::Heights {
+                        step: self.step,
+                        heights: self.heights.clone(),
+                    },
+                );
                 self.counts.gossips_sent += 1;
             }
         }
@@ -229,8 +270,18 @@ impl Actor for GossipNode {
 
     fn on_message(&mut self, _ctx: &mut Ctx<GossipMsg>, from: u32, msg: GossipMsg) {
         match msg {
-            GossipMsg::Heights(h) => {
-                self.cached.insert(from, h);
+            GossipMsg::Heights { step, heights } => {
+                // Reordered deliveries (any positive-width delay
+                // distribution) must never roll the cache back: keep the
+                // entry with the newest sender step.
+                match self.cached.get(&from) {
+                    Some(&(cached_step, _)) if cached_step > step => {
+                        self.counts.stale_gossip_dropped += 1;
+                    }
+                    _ => {
+                        self.cached.insert(from, (step, heights));
+                    }
+                }
             }
             GossipMsg::Packet { dest, seq } => {
                 let key = ((from as u64) << 32) | seq as u64;
@@ -269,24 +320,45 @@ pub struct GossipRun {
     pub absorbed: u64,
     /// Packets discarded at full receive buffers.
     pub overflow_dropped: u64,
-    /// Packets lost on the wire (fault model).
+    /// Packets irrecoverably lost in transit: dropped by the fault model
+    /// with nobody left retrying them (fire-and-forget: every wire drop;
+    /// reliable mode: only retry-budget exhaustion).
     pub link_lost: u64,
+    /// Packets still in reliable-transport custody (windowed or
+    /// backlogged, awaiting (re)transmission or ack) when the run went
+    /// quiescent. Always 0 in fire-and-forget mode.
+    pub in_flight: u64,
+    /// Reliable-transport give-ups (retry budget exhausted). This can
+    /// exceed the packets actually lost: a packet whose acks were all
+    /// dropped is delivered *and* given up.
+    pub gave_up: u64,
     /// Packets still buffered at the end of the run.
     pub buffered: u64,
     /// Packet transmissions attempted.
     pub packets_sent: u64,
     /// Height gossips sent.
     pub gossips_sent: u64,
-    /// Runtime counters.
+    /// Reordered height gossips discarded instead of overwriting fresher
+    /// cached values.
+    pub stale_gossip_dropped: u64,
+    /// Runtime counters (transport-layer retransmits/acks/rto_fired are
+    /// folded in for reliable runs).
     pub stats: NetStats,
     /// Replay digest.
     pub digest: u64,
 }
 
 impl GossipRun {
-    /// The ledger identity every run must satisfy.
+    /// The ledger identity every run must satisfy, extended for
+    /// retransmissions: packets in reliable-transport custody are still
+    /// in the network, not lost.
     pub fn conserved(&self) -> bool {
-        self.injected == self.absorbed + self.buffered + self.overflow_dropped + self.link_lost
+        self.injected
+            == self.absorbed
+                + self.buffered
+                + self.overflow_dropped
+                + self.link_lost
+                + self.in_flight
     }
 
     /// Delivered fraction of admitted packets.
@@ -322,21 +394,14 @@ pub fn uniform_workload(
     plan
 }
 
-/// Run distributed `(T, γ)`-balancing over `topology` with height gossip,
-/// routing the given workload (triples from e.g. [`uniform_workload`]).
-/// All edges of the topology are active every step; edge cost is
-/// Euclidean length.
-pub fn run_gossip_balancing(
+/// Build the node actors for one run (workload split per source,
+/// sorted by step).
+fn build_nodes(
     topology: &SpatialGraph,
     dests: &[u32],
     cfg: GossipConfig,
     workload: &[(u64, u32, u32)],
-    faults: FaultConfig,
-    seed: u64,
-) -> GossipRun {
-    cfg.validate();
-    faults.validate();
-    assert!(!dests.is_empty(), "need at least one destination");
+) -> Vec<GossipNode> {
     let n = topology.len();
     let mut schedules: Vec<Vec<(u64, u32)>> = vec![Vec::new(); n];
     for &(step, src, dest) in workload {
@@ -345,7 +410,7 @@ pub fn run_gossip_balancing(
     for s in schedules.iter_mut() {
         s.sort_unstable_by_key(|&(step, _)| step);
     }
-    let nodes: Vec<GossipNode> = (0..n as u32)
+    (0..n as u32)
         .map(|id| GossipNode {
             id,
             nbrs: topology
@@ -365,35 +430,36 @@ pub fn run_gossip_balancing(
             seq: 0,
             counts: NodeCounts::default(),
         })
-        .collect();
+        .collect()
+}
 
-    // The runtime's radio range only matters for broadcasts; this
-    // protocol is purely unicast over topology edges, so any positive
-    // range works.
-    let mut rt = Runtime::new(
-        nodes,
-        &topology.points,
-        topology.max_range.max(1e-9),
-        faults,
-        seed,
-    );
-    rt.start();
-    rt.run();
-
+/// Tally node ledgers into a [`GossipRun`]. `custody` is the number of
+/// packets still held by reliable transports at quiescence, `gave_up`
+/// their give-up count (both 0 for fire-and-forget).
+fn finalize<'a>(
+    nodes: impl Iterator<Item = &'a GossipNode>,
+    stats: NetStats,
+    digest: u64,
+    custody: u64,
+    gave_up: u64,
+) -> GossipRun {
     let mut run = GossipRun {
         injected: 0,
         admission_dropped: 0,
         absorbed: 0,
         overflow_dropped: 0,
         link_lost: 0,
+        in_flight: 0,
+        gave_up,
         buffered: 0,
         packets_sent: 0,
         gossips_sent: 0,
-        stats: rt.stats().clone(),
-        digest: rt.transcript().digest(),
+        stale_gossip_dropped: 0,
+        stats,
+        digest,
     };
     let mut received = 0u64;
-    for node in rt.nodes() {
+    for node in nodes {
         let c = node.counts;
         run.injected += c.injected;
         run.admission_dropped += c.admission_dropped;
@@ -401,18 +467,93 @@ pub fn run_gossip_balancing(
         run.overflow_dropped += c.overflow_dropped;
         run.packets_sent += c.packets_sent;
         run.gossips_sent += c.gossips_sent;
+        run.stale_gossip_dropped += c.stale_gossip_dropped;
         received += c.packets_received;
         run.buffered += node.heights.iter().map(|&h| h as u64).sum::<u64>();
     }
-    // The queue is drained, so every packet was either received once or
-    // lost on the wire (duplicates are deduped by receivers).
-    run.link_lost = run.packets_sent - received;
+    // The queue is drained, so every hop-level send was received exactly
+    // once, is still in transport custody, or is gone for good. Custody
+    // is clamped to the outstanding count because a delivered packet
+    // whose acks all died can be both received and (briefly) in custody.
+    let outstanding = run.packets_sent - received;
+    run.in_flight = custody.min(outstanding);
+    run.link_lost = outstanding - run.in_flight;
     run
+}
+
+/// Run distributed `(T, γ)`-balancing over `topology` with height gossip,
+/// routing the given workload (triples from e.g. [`uniform_workload`]).
+/// All edges of the topology are active every step; edge cost is
+/// Euclidean length. With [`GossipConfig::with_reliability`], `Packet`
+/// traffic rides the per-link reliable sublayer while heights gossip
+/// stays best-effort.
+pub fn run_gossip_balancing(
+    topology: &SpatialGraph,
+    dests: &[u32],
+    cfg: GossipConfig,
+    workload: &[(u64, u32, u32)],
+    faults: FaultConfig,
+    seed: u64,
+) -> GossipRun {
+    cfg.validate();
+    faults.validate();
+    assert!(!dests.is_empty(), "need at least one destination");
+    let nodes = build_nodes(topology, dests, cfg, workload);
+    // The runtime's radio range only matters for broadcasts; this
+    // protocol is purely unicast over topology edges, so any positive
+    // range works.
+    let range = topology.max_range.max(1e-9);
+
+    match cfg.reliability {
+        None => {
+            let mut rt = Runtime::new(nodes, &topology.points, range, faults, seed);
+            rt.start();
+            rt.run();
+            finalize(
+                rt.nodes().iter(),
+                rt.stats().clone(),
+                rt.transcript().digest(),
+                0,
+                0,
+            )
+        }
+        Some(rc) => {
+            type Wrapped = ReliableActor<GossipNode, fn(&GossipMsg) -> bool>;
+            let wrapped: Vec<Wrapped> = nodes
+                .into_iter()
+                .map(|node| {
+                    ReliableActor::new(node, rc, needs_reliability as fn(&GossipMsg) -> bool)
+                })
+                .collect();
+            let mut rt = Runtime::new(wrapped, &topology.points, range, faults, seed);
+            rt.start();
+            rt.run();
+            let mut stats = rt.stats().clone();
+            let mut custody = 0u64;
+            let mut gave_up = 0u64;
+            for actor in rt.nodes() {
+                let c = actor.counters();
+                stats.retransmits += c.retransmits;
+                stats.acks += c.acks_sent;
+                stats.rto_fired += c.rto_fired;
+                gave_up += c.gave_up;
+                custody += actor.pending_count();
+            }
+            finalize(
+                rt.nodes().iter().map(|a| a.inner()),
+                stats,
+                rt.transcript().digest(),
+                custody,
+                gave_up,
+            )
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::DelayDist;
     use adhoc_geom::Point;
     use adhoc_graph::GraphBuilder;
     use adhoc_routing::{ActiveEdge, BalancingRouter};
@@ -536,6 +677,124 @@ mod tests {
             d * 2 >= c && c * 2 >= d.max(1),
             "distributed {d} vs centralized {c} diverged too far"
         );
+    }
+
+    /// Regression (stale-gossip overwrite): with a positive-width delay
+    /// distribution, `Heights` messages reorder in flight; the cache must
+    /// keep the freshest gossip, never roll back to an older one. Before
+    /// step-stamping, whichever copy arrived *last* won.
+    #[test]
+    fn reordered_gossip_never_rolls_cache_back() {
+        // Node 0's heights grow monotonically: one injection per step for
+        // a destination it can never send toward (threshold unreachable).
+        let topo = chain(3);
+        let steps = 60u64;
+        let mut c = GossipConfig::new(
+            BalancingConfig {
+                threshold: 1e9,
+                gamma: 0.0,
+                capacity: 1000,
+            },
+            steps,
+        );
+        // Steps shorter than the maximum delay, so consecutive gossips'
+        // arrival windows genuinely interleave.
+        c.step_len = 2;
+        let wl: Vec<(u64, u32, u32)> = (0..steps).map(|s| (s, 0, 2)).collect();
+        let faults = FaultConfig {
+            drop_prob: 0.0,
+            duplicate_prob: 0.0,
+            delay: DelayDist::Uniform { min: 1, max: 8 },
+        };
+        // Seed 1 is chosen so that, pre-fix, the *final* cache state is
+        // stale: the step-58 gossip overtakes the step-59 one in flight.
+        let nodes = build_nodes(&topo, &[2], c, &wl);
+        let mut rt = Runtime::new(nodes, &topo.points, topo.max_range, faults, 1);
+        rt.start();
+        rt.run();
+        // The chosen seed must actually reorder — and the stale copies
+        // must have been refused, not cached.
+        let stale: u64 = rt
+            .nodes()
+            .iter()
+            .map(|n| n.counts.stale_gossip_dropped)
+            .sum();
+        assert!(stale > 0, "seed 1 produced no reordering");
+        // Node 1's cache of node 0 ends at the freshest gossip: step 59,
+        // heights including all 60 injections.
+        let col = rt.node(0).col(2).unwrap();
+        let (step, heights) = rt.node(1).cached.get(&0).expect("gossip cached");
+        assert_eq!(*step, steps - 1, "cache ended on a stale step");
+        assert_eq!(heights[col], steps as u32);
+        assert_eq!(heights, &rt.node(0).heights);
+    }
+
+    #[test]
+    fn reliable_sublayer_restores_delivery_under_heavy_loss() {
+        let topo = chain(5);
+        let inject_steps = 300u64;
+        // Injections stop early so buffers and windows can drain, and the
+        // rate stays below the chain's 1-packet-per-step edge capacity —
+        // we are measuring loss recovery, not queueing overload.
+        let steps = inject_steps + 250;
+        let wl = uniform_workload(5, &[4], inject_steps, 1, 2);
+        let faults = FaultConfig::lossy(0.3);
+        let ff = run_gossip_balancing(&topo, &[4], cfg(steps), &wl, faults, 3);
+        let rel = run_gossip_balancing(
+            &topo,
+            &[4],
+            cfg(steps).with_reliability(ReliableConfig::default()),
+            &wl,
+            faults,
+            3,
+        );
+        assert!(ff.conserved(), "{ff:?}");
+        assert!(rel.conserved(), "{rel:?}");
+        // Fire-and-forget bleeds packets at 30% loss...
+        assert!(ff.link_lost > 0);
+        assert!(ff.delivery_rate() < 0.9, "ff rate {}", ff.delivery_rate());
+        // ...the reliable sublayer wins them back with retransmissions.
+        assert!(rel.stats.retransmits > 0);
+        assert!(rel.stats.acks > 0);
+        assert!(rel.stats.rto_fired > 0);
+        assert!(
+            rel.delivery_rate() >= 0.99,
+            "reliable rate {} (run {rel:?})",
+            rel.delivery_rate()
+        );
+        assert!(rel.delivery_rate() > ff.delivery_rate());
+        // Heights gossip stays best-effort by design: still dropped on
+        // the wire, never retransmitted.
+        assert!(rel.stats.per_kind["heights"].dropped > 0);
+        // Residual loss can only come from retry-budget exhaustion.
+        assert!(rel.link_lost <= rel.gave_up);
+    }
+
+    #[test]
+    fn reliable_same_seed_identical_runs() {
+        let topo = chain(6);
+        let wl = uniform_workload(6, &[5], 200, 1, 7);
+        let faults = FaultConfig {
+            drop_prob: 0.2,
+            duplicate_prob: 0.1,
+            delay: DelayDist::Uniform { min: 1, max: 5 },
+        };
+        let go = |seed| {
+            run_gossip_balancing(
+                &topo,
+                &[5],
+                cfg(200).with_reliability(ReliableConfig::default()),
+                &wl,
+                faults,
+                seed,
+            )
+        };
+        let (a, b) = (go(5), go(5));
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.absorbed, b.absorbed);
+        assert_eq!(a.stats, b.stats);
+        assert!(a.conserved(), "{a:?}");
+        assert_ne!(go(6).digest, a.digest);
     }
 
     #[test]

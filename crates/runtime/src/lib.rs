@@ -25,6 +25,15 @@
 //!   and packet conservation is tracked as a ledger that stays exact
 //!   under loss and duplication.
 //!
+//! Between them sits [`reliable`] — a reusable per-link
+//! reliable-delivery sublayer ([`ReliableActor`] wraps any [`Actor`]):
+//! sliding-window sequence numbers, cumulative acks, and
+//! capped-exponential-backoff retransmission restore exactly-once
+//! unicast delivery over lossy links; the gossip balancer routes its
+//! `Packet` traffic through it via
+//! [`GossipConfig::with_reliability`](gossip::GossipConfig::with_reliability)
+//! while heights gossip stays best-effort.
+//!
 //! Experiment **E20** (`adhoc-sim`) sweeps loss rates over both protocols;
 //! `examples/faulty_network.rs` is a minimal end-to-end tour.
 //!
@@ -48,6 +57,7 @@ pub mod event;
 pub mod fault;
 pub mod gossip;
 pub mod node;
+pub mod reliable;
 pub mod runtime;
 pub mod stats;
 pub mod theta;
@@ -58,6 +68,9 @@ pub use gossip::{
     run_gossip_balancing, uniform_workload, GossipConfig, GossipMsg, GossipNode, GossipRun,
 };
 pub use node::{Actor, Ctx, Message};
+pub use reliable::{
+    LinkCounters, ReliableActor, ReliableConfig, ReliableMsg, Transport, RELIABLE_TIMER,
+};
 pub use runtime::Runtime;
 pub use stats::{KindCounts, NetStats, Transcript};
 pub use theta::{edge_fidelity, run_theta_protocol, ThetaMsg, ThetaNode, ThetaRun, ThetaTiming};

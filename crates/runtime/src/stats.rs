@@ -31,6 +31,15 @@ pub struct NetStats {
     pub timers_set: u64,
     /// Timers fired.
     pub timers_fired: u64,
+    /// Data retransmissions by the reliable-delivery sublayer. Folded in
+    /// by reliable-transport drivers (e.g. `run_gossip_balancing` with
+    /// reliability enabled); zero for best-effort-only runs.
+    pub retransmits: u64,
+    /// Standalone cumulative acks sent by the reliable sublayer
+    /// (piggybacked acks ride data messages and are not counted here).
+    pub acks: u64,
+    /// Retransmit-timer firings in the reliable sublayer.
+    pub rto_fired: u64,
     /// High-water mark of the event queue.
     pub max_queue_depth: usize,
     /// Per-kind breakdown, keyed by [`Message::kind`](crate::Message::kind).

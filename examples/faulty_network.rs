@@ -4,8 +4,9 @@
 //! runs the hardened 3-round ΘALG actor protocol (retransmit + ack) to
 //! construct `𝒩`, verifies the result against the direct construction,
 //! then routes a uniform workload over the reconstructed topology with
-//! distributed `(T,γ)`-balancing and gossiped buffer heights — all
-//! bit-for-bit replayable from the seed.
+//! distributed `(T,γ)`-balancing and gossiped buffer heights — first
+//! fire-and-forget, then with packet traffic on the per-link
+//! reliable-delivery sublayer — all bit-for-bit replayable from the seed.
 //!
 //! ```text
 //! cargo run --release --example faulty_network [n] [seed] [loss]
@@ -63,9 +64,12 @@ fn main() {
     println!("  replay digest       {:>#8x}\n", run.digest);
 
     // -- Routing over the reconstructed topology, same faulty links ------
+    // Injections stop early so queues and retransmit windows can drain;
+    // the delivered fraction then measures loss, not truncation.
     let dests = [0u32];
-    let steps = 2000;
-    let workload = uniform_workload(n, &dests, steps, 2, seed ^ 0x9e37);
+    let inject_steps = 1500;
+    let steps = inject_steps + 500;
+    let workload = uniform_workload(n, &dests, inject_steps, 2, seed ^ 0x9e37);
     let cfg = GossipConfig::new(
         BalancingConfig {
             threshold: 0.5,
@@ -74,17 +78,28 @@ fn main() {
         },
         steps,
     );
-    let routed = run_gossip_balancing(&run.graph, &dests, cfg, &workload, faults, seed);
-    println!("(T,γ)-balancing with height gossip, {steps} steps:");
-    println!("  packets injected    {:>8}", routed.injected);
-    println!(
-        "  delivered           {:>8}  ({:.1}%)",
-        routed.absorbed,
-        routed.delivery_rate() * 100.0
-    );
-    println!("  lost on the wire    {:>8}", routed.link_lost);
-    println!("  still buffered      {:>8}", routed.buffered);
-    println!("  gossip messages     {:>8}", routed.gossips_sent);
-    println!("  ledger conserved    {:>8}", routed.conserved());
-    assert!(routed.conserved(), "conservation ledger must balance");
+    for (mode, cfg) in [
+        ("fire-and-forget", cfg),
+        (
+            "reliable sublayer",
+            cfg.with_reliability(ReliableConfig::default()),
+        ),
+    ] {
+        let routed = run_gossip_balancing(&run.graph, &dests, cfg, &workload, faults, seed);
+        println!("(T,γ)-balancing with height gossip, {steps} steps, {mode}:");
+        println!("  packets injected    {:>8}", routed.injected);
+        println!(
+            "  delivered           {:>8}  ({:.1}%)",
+            routed.absorbed,
+            routed.delivery_rate() * 100.0
+        );
+        println!("  lost on the wire    {:>8}", routed.link_lost);
+        println!("  still buffered      {:>8}", routed.buffered);
+        println!("  in transport custody{:>8}", routed.in_flight);
+        println!("  retransmissions     {:>8}", routed.stats.retransmits);
+        println!("  acks sent           {:>8}", routed.stats.acks);
+        println!("  gossip messages     {:>8}", routed.gossips_sent);
+        println!("  ledger conserved    {:>8}\n", routed.conserved());
+        assert!(routed.conserved(), "conservation ledger must balance");
+    }
 }

@@ -27,7 +27,9 @@
 //!   (§3.4), and baselines.
 //! * [`runtime`] — deterministic message-passing node runtime with fault
 //!   injection: ΘALG and `(T,γ)`-balancing replayed as actor protocols
-//!   over lossy, delaying, duplicating links.
+//!   over lossy, delaying, duplicating links, with an optional per-link
+//!   reliable-delivery sublayer (sliding window + cumulative ack +
+//!   capped-backoff retransmit) under the balancing packet traffic.
 //! * [`sim`] — OPT-by-construction adversaries, workloads, mobility, and
 //!   the experiment runners E1–E20 (`cargo run -p adhoc-sim --bin
 //!   report`).
@@ -90,8 +92,8 @@ pub mod prelude {
         HoneycombRouter, InterferenceRouter, StaleBalancingRouter, TracedRouter,
     };
     pub use adhoc_runtime::{
-        edge_fidelity, run_gossip_balancing, run_theta_protocol, uniform_workload, FaultConfig,
-        GossipConfig, Runtime, ThetaTiming,
+        edge_fidelity, run_gossip_balancing, run_theta_protocol, uniform_workload, DelayDist,
+        FaultConfig, GossipConfig, ReliableConfig, Runtime, ThetaTiming,
     };
     pub use adhoc_sim::{build_schedule, run_balancing_on_schedule, ScenarioConfig, Workload};
     pub use rand::SeedableRng;

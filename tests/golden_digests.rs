@@ -1,0 +1,52 @@
+//! Golden transcript-digest regression suite.
+//!
+//! Every scenario in the quick E20 sweep (ΘALG protocol and
+//! gossip-balancing in both delivery modes, across the loss-rate grid)
+//! has its replay digest pinned in `tests/fixtures/e20_digests.txt`. The
+//! runtime promises bit-for-bit replay from a seed; this suite extends
+//! that promise across *commits*: any change to event ordering, RNG
+//! consumption, fault sampling, or message contents shows up here as a
+//! digest mismatch instead of a silent behavioural drift.
+//!
+//! When a divergence is intentional (e.g. a new field in a message enum),
+//! regenerate the fixture and review it like any other diff:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_digests
+//! ```
+
+use std::fmt::Write as _;
+
+const FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/e20_digests.txt"
+);
+
+fn render(digests: &[(String, u64)]) -> String {
+    let mut s = String::from(
+        "# E20 quick-sweep replay digests.\n\
+         # Regenerate: UPDATE_GOLDEN=1 cargo test --test golden_digests\n",
+    );
+    for (name, digest) in digests {
+        writeln!(s, "{name} {digest:#018x}").unwrap();
+    }
+    s
+}
+
+#[test]
+fn e20_digests_match_golden_fixture() {
+    let actual = render(&adhoc_sim::experiments::e20_runtime_faults::golden_digests());
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(FIXTURE, &actual).expect("writing fixture");
+        return;
+    }
+    let expected = std::fs::read_to_string(FIXTURE).expect(
+        "missing fixture — create it with UPDATE_GOLDEN=1 cargo test --test golden_digests",
+    );
+    assert_eq!(
+        actual, expected,
+        "replay digests diverged from the golden fixture; if intentional, \
+         regenerate with UPDATE_GOLDEN=1 cargo test --test golden_digests \
+         and commit the new fixture"
+    );
+}

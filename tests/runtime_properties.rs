@@ -87,4 +87,48 @@ proptest! {
         );
         prop_assert_eq!(edge_fidelity(&direct.spatial, &run.graph), 1.0);
     }
+
+    /// Chaos mode: reordering-heavy delays (max delay > step length) plus
+    /// drops plus duplication. In both delivery modes the extended
+    /// conservation ledger must balance exactly, and the same seed must
+    /// replay to the same transcript digest.
+    #[test]
+    fn ledger_balances_and_replays_under_chaos_in_both_modes(
+        raw in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 10..24),
+        drop_prob in 0.0f64..0.45,
+        duplicate_prob in 0.0f64..0.3,
+        seed in 0u64..1_000_000
+    ) {
+        let points = dedup_points(&raw);
+        let graph = unit_disk_graph(&points, default_max_range(points.len()));
+        let faults = FaultConfig {
+            drop_prob,
+            duplicate_prob,
+            // Step length defaults to 8 ticks, so delays up to 12 make
+            // consecutive sends overtake each other across step
+            // boundaries.
+            delay: DelayDist::Uniform { min: 1, max: 12 },
+        };
+        let dests = [0u32];
+        let inject_steps = 40;
+        let wl = uniform_workload(points.len(), &dests, inject_steps, 1, seed ^ 1);
+        let base = GossipConfig::new(
+            BalancingConfig { threshold: 0.5, gamma: 0.1, capacity: 20 },
+            inject_steps + 40,
+        );
+        for cfg in [base, base.with_reliability(ReliableConfig::default())] {
+            let a = run_gossip_balancing(&graph, &dests, cfg, &wl, faults, seed);
+            let b = run_gossip_balancing(&graph, &dests, cfg, &wl, faults, seed);
+            prop_assert!(
+                a.conserved(),
+                "ledger out of balance (reliable={}): {:?}",
+                cfg.reliability.is_some(),
+                a
+            );
+            prop_assert_eq!(a.digest, b.digest);
+            prop_assert_eq!(a.absorbed, b.absorbed);
+            prop_assert_eq!(a.stats.retransmits, b.stats.retransmits);
+            prop_assert_eq!(a.stats.acks, b.stats.acks);
+        }
+    }
 }
