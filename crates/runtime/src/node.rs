@@ -50,6 +50,12 @@ pub struct Ctx<M> {
     pub(crate) timers: Vec<(u64, u32)>,
 }
 
+impl<M> Default for Ctx<M> {
+    fn default() -> Self {
+        Ctx::new(0, 0)
+    }
+}
+
 impl<M> Ctx<M> {
     pub(crate) fn new(node: u32, now: u64) -> Self {
         Ctx {
@@ -59,6 +65,18 @@ impl<M> Ctx<M> {
             broadcasts: Vec::new(),
             timers: Vec::new(),
         }
+    }
+
+    /// Re-aim a drained buffer at another callback. The runtime reuses one
+    /// `Ctx` across all callbacks so the per-event hot path never
+    /// allocates; the effect vectors keep their capacity between events.
+    pub(crate) fn reset(&mut self, node: u32, now: u64) {
+        debug_assert!(
+            self.sends.is_empty() && self.broadcasts.is_empty() && self.timers.is_empty(),
+            "Ctx reset before being drained"
+        );
+        self.node = node;
+        self.now = now;
     }
 
     /// This node's id.

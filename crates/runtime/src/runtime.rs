@@ -25,6 +25,10 @@ pub struct Runtime<A: Actor> {
     now: u64,
     stats: NetStats,
     trace: Transcript,
+    /// Reused effect buffer: one `Ctx` serves every callback so the
+    /// per-event hot path performs no allocations (the vectors keep their
+    /// capacity across events).
+    scratch: Ctx<A::Msg>,
 }
 
 impl<A: Actor> Runtime<A> {
@@ -65,6 +69,7 @@ impl<A: Actor> Runtime<A> {
             now: 0,
             stats: NetStats::default(),
             trace: Transcript::new(false),
+            scratch: Ctx::default(),
         }
     }
 
@@ -107,9 +112,11 @@ impl<A: Actor> Runtime<A> {
     /// Deliver `on_start` to every node (in id order) at time 0.
     pub fn start(&mut self) {
         for id in 0..self.nodes.len() as u32 {
-            let mut ctx = Ctx::new(id, self.now);
+            let mut ctx = std::mem::take(&mut self.scratch);
+            ctx.reset(id, self.now);
             self.nodes[id as usize].on_start(&mut ctx);
-            self.flush(ctx);
+            self.flush(&mut ctx);
+            self.scratch = ctx;
         }
     }
 
@@ -129,18 +136,22 @@ impl<A: Actor> Runtime<A> {
                     self.stats.delivered += 1;
                     self.stats.kind(msg.kind()).delivered += 1;
                     self.trace
-                        .note(format!("D t={} {}->{} {:?}", self.now, from, to, msg));
-                    let mut ctx = Ctx::new(to, self.now);
+                        .note(format_args!("D t={} {}->{} {:?}", self.now, from, to, msg));
+                    let mut ctx = std::mem::take(&mut self.scratch);
+                    ctx.reset(to, self.now);
                     self.nodes[to as usize].on_message(&mut ctx, from, msg);
-                    self.flush(ctx);
+                    self.flush(&mut ctx);
+                    self.scratch = ctx;
                 }
                 EventKind::Timer { node, timer } => {
                     self.stats.timers_fired += 1;
                     self.trace
-                        .note(format!("T t={} n={} id={}", self.now, node, timer));
-                    let mut ctx = Ctx::new(node, self.now);
+                        .note(format_args!("T t={} n={} id={}", self.now, node, timer));
+                    let mut ctx = std::mem::take(&mut self.scratch);
+                    ctx.reset(node, self.now);
                     self.nodes[node as usize].on_timer(&mut ctx, timer);
-                    self.flush(ctx);
+                    self.flush(&mut ctx);
+                    self.scratch = ctx;
                 }
             }
         }
@@ -154,19 +165,14 @@ impl<A: Actor> Runtime<A> {
     }
 
     /// Drain one callback's effect buffer, applying link faults to every
-    /// outgoing copy in emission order.
-    fn flush(&mut self, ctx: Ctx<A::Msg>) {
-        let Ctx {
-            node,
-            sends,
-            broadcasts,
-            timers,
-            ..
-        } = ctx;
-        for (to, msg) in sends {
+    /// outgoing copy in emission order. The buffer is drained in place so
+    /// its capacity is reused by the next callback.
+    fn flush(&mut self, ctx: &mut Ctx<A::Msg>) {
+        let node = ctx.node;
+        for (to, msg) in ctx.sends.drain(..) {
             self.transmit(node, to, msg);
         }
-        for msg in broadcasts {
+        for msg in ctx.broadcasts.drain(..) {
             self.stats.broadcasts += 1;
             // Clone per receiver; fan-out order is the sorted neighbor list.
             let nbrs = std::mem::take(&mut self.neighbors[node as usize]);
@@ -175,7 +181,7 @@ impl<A: Actor> Runtime<A> {
             }
             self.neighbors[node as usize] = nbrs;
         }
-        for (at, timer) in timers {
+        for (at, timer) in ctx.timers.drain(..) {
             self.stats.timers_set += 1;
             self.queue.push(at, EventKind::Timer { node, timer });
         }
@@ -190,7 +196,7 @@ impl<A: Actor> Runtime<A> {
                 self.stats.dropped += 1;
                 self.stats.kind(msg.kind()).dropped += 1;
                 self.trace
-                    .note(format!("X t={} {}->{} {:?}", self.now, from, to, msg));
+                    .note(format_args!("X t={} {}->{} {:?}", self.now, from, to, msg));
             }
             TransmitOutcome::Delivered(d) => {
                 self.queue

@@ -1,6 +1,7 @@
 //! Runtime instrumentation: message counters and the replay transcript.
 
 use std::collections::BTreeMap;
+use std::fmt::{self, Write as _};
 
 /// Counters for one message kind.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -84,6 +85,23 @@ impl Default for Transcript {
     }
 }
 
+/// A `fmt::Write` sink that folds every formatted byte straight into a
+/// rolling FNV-1a state — digesting an event record costs zero heap
+/// allocations, unlike rendering it to a `String` first.
+struct FnvSink<'a>(&'a mut u64);
+
+impl fmt::Write for FnvSink<'_> {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        let mut d = *self.0;
+        for &b in s.as_bytes() {
+            d ^= b as u64;
+            d = d.wrapping_mul(FNV_PRIME);
+        }
+        *self.0 = d;
+        Ok(())
+    }
+}
+
 impl Transcript {
     /// A fresh transcript; pass `record = true` to keep full entries.
     pub fn new(record: bool) -> Self {
@@ -94,17 +112,22 @@ impl Transcript {
     }
 
     /// Fold one event record into the digest (and the log if recording).
-    pub(crate) fn note(&mut self, entry: String) {
-        for b in entry.as_bytes() {
-            self.digest ^= *b as u64;
-            self.digest = self.digest.wrapping_mul(FNV_PRIME);
+    ///
+    /// The record is streamed into the digest via [`FnvSink`]; the only
+    /// time it is materialized as a `String` is when full-entry recording
+    /// is on — the hot path (tracing off) never allocates here.
+    pub(crate) fn note(&mut self, args: fmt::Arguments<'_>) {
+        if let Some(log) = &mut self.entries {
+            let entry = args.to_string();
+            FnvSink(&mut self.digest).write_str(&entry).unwrap();
+            log.push(entry);
+        } else {
+            // Formatting into the sink cannot fail: FnvSink never errors.
+            FnvSink(&mut self.digest).write_fmt(args).unwrap();
         }
         // Separator so concatenation ambiguity can't collide entries.
         self.digest ^= 0xff;
         self.digest = self.digest.wrapping_mul(FNV_PRIME);
-        if let Some(log) = &mut self.entries {
-            log.push(entry);
-        }
     }
 
     /// The rolling digest over all events so far.
@@ -125,11 +148,11 @@ mod tests {
     #[test]
     fn digest_is_order_sensitive() {
         let mut a = Transcript::new(false);
-        a.note("x".into());
-        a.note("y".into());
+        a.note(format_args!("x"));
+        a.note(format_args!("y"));
         let mut b = Transcript::new(false);
-        b.note("y".into());
-        b.note("x".into());
+        b.note(format_args!("y"));
+        b.note(format_args!("x"));
         assert_ne!(a.digest(), b.digest());
     }
 
@@ -138,8 +161,8 @@ mod tests {
         let mut a = Transcript::new(false);
         let mut b = Transcript::new(true);
         for s in ["p", "q", "r"] {
-            a.note(s.into());
-            b.note(s.into());
+            a.note(format_args!("{s}"));
+            b.note(format_args!("{s}"));
         }
         assert_eq!(a.digest(), b.digest());
         assert_eq!(b.entries().unwrap().len(), 3);
@@ -149,10 +172,35 @@ mod tests {
     #[test]
     fn separator_prevents_concatenation_collisions() {
         let mut a = Transcript::new(false);
-        a.note("ab".into());
+        a.note(format_args!("ab"));
         let mut b = Transcript::new(false);
-        b.note("a".into());
-        b.note("b".into());
+        b.note(format_args!("a"));
+        b.note(format_args!("b"));
         assert_ne!(a.digest(), b.digest());
+    }
+
+    /// The streaming sink and the render-then-fold path must agree byte
+    /// for byte, including on multi-fragment format strings.
+    #[test]
+    fn streamed_digest_equals_rendered_digest() {
+        let mut streamed = Transcript::new(false);
+        let mut rendered = Transcript::new(true);
+        for i in 0..50u32 {
+            streamed.note(format_args!(
+                "D t={} {}->{} Msg({:?})",
+                i,
+                i + 1,
+                i + 2,
+                (i, "x")
+            ));
+            rendered.note(format_args!(
+                "D t={} {}->{} Msg({:?})",
+                i,
+                i + 1,
+                i + 2,
+                (i, "x")
+            ));
+        }
+        assert_eq!(streamed.digest(), rendered.digest());
     }
 }
