@@ -175,9 +175,11 @@ impl<A: Actor> Runtime<A> {
         for msg in ctx.broadcasts.drain(..) {
             self.stats.broadcasts += 1;
             // Clone per receiver; fan-out order is the sorted neighbor list.
+            // Targets come straight from that list, so the per-unicast
+            // locality check in `transmit` is skipped here.
             let nbrs = std::mem::take(&mut self.neighbors[node as usize]);
             for &to in &nbrs {
-                self.transmit(node, to, msg.clone());
+                self.transmit_link(node, to, msg.clone());
             }
             self.neighbors[node as usize] = nbrs;
         }
@@ -188,7 +190,29 @@ impl<A: Actor> Runtime<A> {
         self.stats.max_queue_depth = self.stats.max_queue_depth.max(self.queue.high_water());
     }
 
+    /// Validate a unicast against the `G*` locality discipline, then hand
+    /// it to the link layer. A nonexistent target is a programming error
+    /// (panic with a clear message); an in-plane but out-of-range target
+    /// is physically unreachable — the copy is discarded and counted in
+    /// [`NetStats::non_neighbor_sends`].
     fn transmit(&mut self, from: u32, to: u32, msg: A::Msg) {
+        let n = self.nodes.len() as u32;
+        assert!(
+            to < n,
+            "node {from} sent {:?} to nonexistent node {to} (only {n} nodes exist)",
+            msg
+        );
+        if from == to || self.neighbors[from as usize].binary_search(&to).is_err() {
+            self.stats.non_neighbor_sends += 1;
+            self.trace
+                .note(format_args!("L t={} {}->{} {:?}", self.now, from, to, msg));
+            return;
+        }
+        self.transmit_link(from, to, msg);
+    }
+
+    /// Push one copy across a radio link, applying the fault model.
+    fn transmit_link(&mut self, from: u32, to: u32, msg: A::Msg) {
         self.stats.sent += 1;
         self.stats.kind(msg.kind()).sent += 1;
         match self.faults.transmit(&mut self.rng) {
@@ -328,5 +352,72 @@ mod tests {
         let rt = flood(4, FaultConfig::ideal(), 5);
         assert_eq!(rt.radio_neighbors(0), &[1]);
         assert_eq!(rt.radio_neighbors(1), &[0, 2]);
+    }
+
+    /// An actor that unicasts once to an arbitrary (possibly bogus)
+    /// target, for exercising the locality validation in `transmit`.
+    #[derive(Debug, Clone)]
+    struct SendTo {
+        id: u32,
+        target: Option<u32>,
+    }
+
+    impl Actor for SendTo {
+        type Msg = Token;
+
+        fn on_start(&mut self, ctx: &mut Ctx<Token>) {
+            if self.id == 0 {
+                if let Some(to) = self.target {
+                    ctx.send(to, Token);
+                }
+            }
+        }
+
+        fn on_message(&mut self, _ctx: &mut Ctx<Token>, _from: u32, _msg: Token) {}
+    }
+
+    fn send_to(n: usize, target: Option<u32>) -> Runtime<SendTo> {
+        let nodes = (0..n as u32).map(|id| SendTo { id, target }).collect();
+        Runtime::new(nodes, &line(n), 1.5, FaultConfig::ideal(), 9)
+    }
+
+    #[test]
+    #[should_panic(expected = "nonexistent node")]
+    fn unicast_to_nonexistent_node_panics_clearly() {
+        let mut rt = send_to(3, Some(99));
+        rt.start();
+        rt.run();
+    }
+
+    #[test]
+    fn out_of_range_unicast_is_dropped_and_counted() {
+        // Node 3 is 3 units from node 0 — in the plane, out of radio
+        // range (1.5). The copy must never be delivered, and it must not
+        // perturb the link-level sent/dropped ledger.
+        let mut rt = send_to(4, Some(3));
+        rt.start();
+        rt.run();
+        assert_eq!(rt.stats().non_neighbor_sends, 1);
+        assert_eq!(rt.stats().sent, 0);
+        assert_eq!(rt.stats().delivered, 0);
+        assert_eq!(rt.stats().dropped, 0);
+    }
+
+    #[test]
+    fn self_send_is_a_non_neighbor_send() {
+        let mut rt = send_to(2, Some(0));
+        rt.start();
+        rt.run();
+        assert_eq!(rt.stats().non_neighbor_sends, 1);
+        assert_eq!(rt.stats().delivered, 0);
+    }
+
+    #[test]
+    fn in_range_unicast_still_delivers() {
+        let mut rt = send_to(2, Some(1));
+        rt.start();
+        rt.run();
+        assert_eq!(rt.stats().non_neighbor_sends, 0);
+        assert_eq!(rt.stats().delivered, 1);
     }
 }

@@ -41,6 +41,12 @@ pub struct NetStats {
     pub acks: u64,
     /// Retransmit-timer firings in the reliable sublayer.
     pub rto_fired: u64,
+    /// Unicasts to an in-plane node outside the sender's radio range.
+    /// The paper's `G*` locality discipline means such a send can never
+    /// leave the radio: the copy is discarded before the fault model and
+    /// counted here (not in `sent`/`dropped`, so link-level ledgers stay
+    /// conserved).
+    pub non_neighbor_sends: u64,
     /// High-water mark of the event queue.
     pub max_queue_depth: usize,
     /// Per-kind breakdown, keyed by [`Message::kind`](crate::Message::kind).
