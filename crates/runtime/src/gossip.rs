@@ -27,7 +27,7 @@ use adhoc_proximity::SpatialGraph;
 use adhoc_routing::BalancingConfig;
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
-use std::collections::{BTreeMap, HashSet};
+use std::collections::BTreeMap;
 
 /// Timer id for the per-step tick.
 const TIMER_STEP: u32 = 1;
@@ -134,8 +134,9 @@ pub struct GossipNode {
     /// step that produced them — the tag is what lets `on_message` refuse
     /// reordered (older) gossip instead of overwriting fresher state.
     cached: BTreeMap<u32, (u64, Vec<u32>)>,
-    /// `(sender << 32) | seq` of every packet already accepted.
-    seen: HashSet<u64>,
+    /// Bounded per-sender duplicate suppression (O(1) per neighbor,
+    /// regardless of run length — see [`DedupWindow`]).
+    seen: BTreeMap<u32, DedupWindow>,
     /// Injections scheduled for this node: `(step, dest)`, sorted by step.
     schedule: Vec<(u64, u32)>,
     next_inj: usize,
@@ -165,6 +166,46 @@ pub struct NodeCounts {
     pub gossips_sent: u64,
     /// Reordered (out-of-date) height gossips discarded on receipt.
     pub stale_gossip_dropped: u64,
+}
+
+/// Duplicate suppression for one sender in O(1) space: the highest
+/// accepted sequence number plus a 64-wide bitmask of recently accepted
+/// seqs below it. `seq` is monotone per sender, so only copies delayed
+/// past the window can be misjudged — anything more than 63 behind the
+/// high-water mark is conservatively treated as a duplicate (the ledger
+/// then books the packet as link-lost rather than double-counting it).
+/// The previous implementation kept every `(sender, seq)` pair ever
+/// accepted in a `HashSet`, which grows without bound in long runs.
+#[derive(Debug, Clone, Copy, Default)]
+struct DedupWindow {
+    /// Highest accepted seq (meaningful iff `any`).
+    hi: u32,
+    /// Bit `k` set ⇔ seq `hi − k` was accepted (bit 0 is `hi` itself).
+    mask: u64,
+    any: bool,
+}
+
+impl DedupWindow {
+    /// Record `seq`; returns true iff it was not seen before.
+    fn accept(&mut self, seq: u32) -> bool {
+        if !self.any {
+            (self.any, self.hi, self.mask) = (true, seq, 1);
+            return true;
+        }
+        if seq > self.hi {
+            let shift = seq - self.hi;
+            self.mask = if shift >= 64 { 0 } else { self.mask << shift };
+            self.mask |= 1;
+            self.hi = seq;
+            return true;
+        }
+        let back = self.hi - seq;
+        if back >= 64 || self.mask & (1 << back) != 0 {
+            return false;
+        }
+        self.mask |= 1 << back;
+        true
+    }
 }
 
 impl GossipNode {
@@ -284,8 +325,16 @@ impl Actor for GossipNode {
                 }
             }
             GossipMsg::Packet { dest, seq } => {
-                let key = ((from as u64) << 32) | seq as u64;
-                if !self.seen.insert(key) {
+                // Dedup is only needed against fault-layer duplicate
+                // copies, whose arrival skew is bounded by the delay
+                // distribution — well within the window. Under the
+                // reliable sublayer the transport already delivers
+                // exactly-once per sequence number, and retransmission
+                // latency can legitimately push a packet further behind
+                // the sender's newest seq than any bounded window, so
+                // datagram dedup is skipped there.
+                if self.cfg.reliability.is_none() && !self.seen.entry(from).or_default().accept(seq)
+                {
                     return; // duplicated delivery
                 }
                 self.counts.packets_received += 1;
@@ -422,7 +471,7 @@ fn build_nodes(
             dests: dests.to_vec(),
             heights: vec![0; dests.len()],
             cached: BTreeMap::new(),
-            seen: HashSet::new(),
+            seen: BTreeMap::new(),
             schedule: std::mem::take(&mut schedules[id as usize]),
             next_inj: 0,
             cfg,
@@ -576,6 +625,64 @@ mod tests {
             },
             steps,
         )
+    }
+
+    #[test]
+    fn dedup_window_accepts_once_within_window() {
+        let mut w = DedupWindow::default();
+        assert!(w.accept(5));
+        assert!(!w.accept(5), "exact duplicate");
+        assert!(w.accept(7), "forward jump");
+        assert!(w.accept(6), "out-of-order within window");
+        assert!(!w.accept(6) && !w.accept(5), "replays rejected");
+        assert!(w.accept(7 + 63), "edge of the window");
+        assert!(!w.accept(7), "63 behind: still remembered");
+        assert!(!w.accept(5), "beyond the window: treated as duplicate");
+    }
+
+    #[test]
+    fn dedup_window_survives_large_jumps() {
+        let mut w = DedupWindow::default();
+        assert!(w.accept(0));
+        assert!(w.accept(1000), "shift ≥ 64 must not overflow");
+        assert!(w.accept(999));
+        assert!(!w.accept(1000) && !w.accept(999));
+        assert!(!w.accept(0), "far-stale seq treated as duplicate");
+    }
+
+    /// Regression for the unbounded `seen: HashSet<(sender, seq)>`: over
+    /// a long duplicate-heavy run, per-node dedup state must stay bounded
+    /// by the neighbor count — not grow with the packet count — while
+    /// accepting exactly the same packets (no drops ⇒ every transmission
+    /// is accepted exactly once, duplicates discarded).
+    #[test]
+    fn dedup_state_stays_bounded_on_long_duplicate_heavy_runs() {
+        let topo = chain(5);
+        let wl = uniform_workload(5, &[4], 2000, 2, 11);
+        let faults = FaultConfig {
+            drop_prob: 0.0,
+            duplicate_prob: 0.4,
+            delay: DelayDist::Uniform { min: 1, max: 4 },
+        };
+        let nodes = build_nodes(&topo, &[4], cfg(2000), &wl);
+        let mut rt = Runtime::new(nodes, &topo.points, topo.max_range.max(1e-9), faults, 11);
+        rt.start();
+        rt.run();
+
+        let sent: u64 = rt.nodes().iter().map(|n| n.counts.packets_sent).sum();
+        let received: u64 = rt.nodes().iter().map(|n| n.counts.packets_received).sum();
+        assert_eq!(sent, received, "lossless links: accept each packet once");
+        assert!(rt.stats().duplicated > 100, "run wasn't duplicate-heavy");
+        assert!(sent > 1000, "run too short to expose unbounded growth");
+        for node in rt.nodes() {
+            assert!(
+                node.seen.len() <= node.nbrs.len(),
+                "node {} tracks {} dedup entries for {} neighbors",
+                node.id,
+                node.seen.len(),
+                node.nbrs.len()
+            );
+        }
     }
 
     #[test]
