@@ -49,6 +49,15 @@ impl DelayDist {
             DelayDist::Uniform { max, .. } => max.max(1),
         }
     }
+
+    /// Smallest latency this distribution can produce (always ≥ 1 — the
+    /// sharded executor's conservative lookahead).
+    pub fn min_delay(&self) -> u64 {
+        match *self {
+            DelayDist::Fixed(d) => d.max(1),
+            DelayDist::Uniform { min, .. } => min.max(1),
+        }
+    }
 }
 
 /// Fault model applied independently to every link-level transmission.
@@ -123,6 +132,13 @@ impl FaultConfig {
     /// deadlines).
     pub fn max_delay(&self) -> u64 {
         self.delay.max_delay()
+    }
+
+    /// Smallest per-copy latency the model can produce — the sharded
+    /// executor's lookahead window: no message sent in epoch `k` can
+    /// arrive before epoch `k + 1`.
+    pub fn min_delay(&self) -> u64 {
+        self.delay.min_delay()
     }
 }
 

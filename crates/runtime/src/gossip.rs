@@ -544,6 +544,30 @@ pub fn run_gossip_balancing(
     faults: FaultConfig,
     seed: u64,
 ) -> GossipRun {
+    run_gossip_balancing_sharded(
+        topology,
+        dests,
+        cfg,
+        workload,
+        faults,
+        seed,
+        crate::runtime::shard_threads_from_env(),
+    )
+}
+
+/// [`run_gossip_balancing`] on an explicit number of worker threads
+/// (`<= 1` runs sequentially). The result — ledger, stats, digest — is
+/// bit-identical at every thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn run_gossip_balancing_sharded(
+    topology: &SpatialGraph,
+    dests: &[u32],
+    cfg: GossipConfig,
+    workload: &[(u64, u32, u32)],
+    faults: FaultConfig,
+    seed: u64,
+    threads: usize,
+) -> GossipRun {
     cfg.validate();
     faults.validate();
     assert!(!dests.is_empty(), "need at least one destination");
@@ -557,7 +581,11 @@ pub fn run_gossip_balancing(
         None => {
             let mut rt = Runtime::new(nodes, &topology.points, range, faults, seed);
             rt.start();
-            rt.run();
+            if threads > 1 {
+                rt.run_sharded(threads);
+            } else {
+                rt.run();
+            }
             finalize(
                 rt.nodes().iter(),
                 rt.stats().clone(),
@@ -576,7 +604,11 @@ pub fn run_gossip_balancing(
                 .collect();
             let mut rt = Runtime::new(wrapped, &topology.points, range, faults, seed);
             rt.start();
-            rt.run();
+            if threads > 1 {
+                rt.run_sharded(threads);
+            } else {
+                rt.run();
+            }
             let mut stats = rt.stats().clone();
             let mut custody = 0u64;
             let mut gave_up = 0u64;

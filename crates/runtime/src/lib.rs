@@ -8,10 +8,13 @@
 //! with a mailbox and timers — and every link-level transmission passes
 //! through a configurable [`FaultConfig`].
 //!
-//! Determinism is the design invariant: one seeded RNG drives all fault
-//! decisions, events are ordered by `(time, insertion-seq)`, and a
-//! rolling [`Transcript`] digest witnesses replay equality — the same
-//! seed reproduces the same run bit for bit, asserted by tests.
+//! Determinism is the design invariant: every directed link draws its
+//! fault decisions from its own seeded RNG stream, events are ordered by
+//! the canonical `(time, EventKey)` key, and a rolling [`Transcript`]
+//! digest witnesses replay equality — the same seed reproduces the same
+//! run bit for bit, whether executed sequentially ([`Runtime::run`]) or
+//! sharded over worker threads ([`Runtime::run_sharded`] /
+//! [`Runtime::run_auto`]), asserted by tests.
 //!
 //! Two protocols from the paper are ported onto the runtime:
 //!
@@ -59,18 +62,23 @@ pub mod gossip;
 pub mod node;
 pub mod reliable;
 pub mod runtime;
+pub mod shard;
 pub mod stats;
 pub mod theta;
 
-pub use event::{Event, EventKind, EventQueue};
+pub use event::{Event, EventKey, EventKind, EventQueue};
 pub use fault::{DelayDist, FaultConfig, TransmitOutcome};
 pub use gossip::{
-    run_gossip_balancing, uniform_workload, GossipConfig, GossipMsg, GossipNode, GossipRun,
+    run_gossip_balancing, run_gossip_balancing_sharded, uniform_workload, GossipConfig, GossipMsg,
+    GossipNode, GossipRun,
 };
 pub use node::{Actor, Ctx, Message};
 pub use reliable::{
     LinkCounters, ReliableActor, ReliableConfig, ReliableMsg, Transport, RELIABLE_TIMER,
 };
-pub use runtime::Runtime;
+pub use runtime::{shard_threads_from_env, Runtime};
 pub use stats::{KindCounts, NetStats, Transcript};
-pub use theta::{edge_fidelity, run_theta_protocol, ThetaMsg, ThetaNode, ThetaRun, ThetaTiming};
+pub use theta::{
+    edge_fidelity, run_theta_protocol, run_theta_protocol_sharded, ThetaMsg, ThetaNode, ThetaRun,
+    ThetaTiming,
+};

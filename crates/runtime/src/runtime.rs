@@ -1,30 +1,103 @@
 //! The runtime driver: owns the nodes, the event queue, the fault model,
-//! and one seeded RNG — the single source of randomness, so every run is
-//! bit-for-bit replayable from `(nodes, positions, faults, seed)`.
+//! and per-link RNG streams — so every run is bit-for-bit replayable from
+//! `(nodes, positions, faults, seed)` on any execution layout.
+//!
+//! # Determinism under sharding
+//!
+//! Three mechanisms make the sequential executor and the sharded executor
+//! ([`Runtime::run_sharded`]) produce identical replay digests:
+//!
+//! 1. **Per-directed-link RNG streams.** Every link `u → v` owns a
+//!    `ChaCha8Rng` seeded from `splitmix64(seed, u, v)`; a transmission's
+//!    fate (drop/delay/duplicate) depends only on the sender's
+//!    deterministic emission order on that link, never on global
+//!    scheduling history or thread interleaving.
+//! 2. **Canonical event order.** Events tie-break by [`EventKey`]
+//!    `(node, class, src, link/arm seq)` instead of global insertion
+//!    order, so per-node event streams are layout-invariant (see
+//!    [`crate::event`]).
+//! 3. **Windowed digest folds.** Event records accumulate in per-node
+//!    sub-digests and fold into the global digest in node-id order at
+//!    each lookahead-window boundary ([`crate::stats::WindowNotes`]).
 
-use crate::event::{EventKind, EventQueue};
+use crate::event::{EventKey, EventKind, EventQueue};
 use crate::fault::{FaultConfig, TransmitOutcome};
 use crate::node::{Actor, Ctx, Message};
-use crate::stats::{NetStats, Transcript};
+use crate::stats::{NetStats, Transcript, WindowNotes};
 use adhoc_geom::{GridIndex, Point};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+
+/// SplitMix64 finalizer: a cheap, well-mixed 64-bit permutation used to
+/// derive independent per-link seeds from `(run seed, from, to)`.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Key of the directed link `from → to` in the link-state map.
+pub(crate) fn link_key(from: u32, to: u32) -> u64 {
+    ((from as u64) << 32) | to as u64
+}
+
+/// Per-directed-link transmission state: the link's private RNG stream
+/// and its copy counter (feeds [`EventKey::deliver`] sequence numbers;
+/// fault-layer duplicates take consecutive values).
+#[derive(Debug, Clone)]
+pub(crate) struct LinkState {
+    pub(crate) rng: ChaCha8Rng,
+    pub(crate) copies: u64,
+}
+
+impl LinkState {
+    pub(crate) fn new(seed: u64, from: u32, to: u32) -> Self {
+        LinkState {
+            rng: ChaCha8Rng::seed_from_u64(splitmix64(seed ^ splitmix64(link_key(from, to)))),
+            copies: 0,
+        }
+    }
+}
+
+/// Thread count requested via the `ADHOC_SHARD_THREADS` environment
+/// variable (default 1 = sequential).
+pub fn shard_threads_from_env() -> usize {
+    std::env::var("ADHOC_SHARD_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&t: &usize| t >= 1)
+        .unwrap_or(1)
+}
 
 /// Deterministic discrete-event runtime over a set of node actors placed
 /// in the plane. Radio broadcasts reach every node within `range`
 /// (the paper's `G*` neighborhood); each link-level copy independently
-/// passes through the [`FaultConfig`].
+/// passes through the [`FaultConfig`] on its own RNG stream.
 #[derive(Debug)]
 pub struct Runtime<A: Actor> {
-    nodes: Vec<A>,
+    pub(crate) nodes: Vec<A>,
     /// Radio neighbors (indices within `range`), per node.
-    neighbors: Vec<Vec<u32>>,
-    queue: EventQueue<A::Msg>,
-    faults: FaultConfig,
-    rng: ChaCha8Rng,
-    now: u64,
-    stats: NetStats,
-    trace: Transcript,
+    pub(crate) neighbors: Vec<Vec<u32>>,
+    /// Node positions (kept for spatial shard partitioning).
+    pub(crate) positions: Vec<Point>,
+    /// Radio range (spatial shard cell side).
+    pub(crate) range: f64,
+    pub(crate) queue: EventQueue<A::Msg>,
+    pub(crate) faults: FaultConfig,
+    pub(crate) seed: u64,
+    /// Per-directed-link RNG streams and copy counters, created lazily.
+    pub(crate) links: HashMap<u64, LinkState>,
+    /// Per-node timer arm counters (feed [`EventKey::timer`] seqs).
+    pub(crate) arm_seq: Vec<u64>,
+    pub(crate) now: u64,
+    /// Index of the lookahead window currently being processed.
+    cur_window: u64,
+    pub(crate) stats: NetStats,
+    pub(crate) trace: Transcript,
+    /// Per-node sub-digests for the current window.
+    pub(crate) notes: WindowNotes,
     /// Reused effect buffer: one `Ctx` serves every callback so the
     /// per-event hot path performs no allocations (the vectors keep their
     /// capacity across events).
@@ -63,20 +136,28 @@ impl<A: Actor> Runtime<A> {
         Runtime {
             nodes,
             neighbors,
+            positions: positions.to_vec(),
+            range,
             queue: EventQueue::new(),
             faults,
-            rng: ChaCha8Rng::seed_from_u64(seed),
+            seed,
+            links: HashMap::new(),
+            arm_seq: vec![0; n],
             now: 0,
+            cur_window: 0,
             stats: NetStats::default(),
             trace: Transcript::new(false),
+            notes: WindowNotes::new(n, false),
             scratch: Ctx::default(),
         }
     }
 
     /// Keep the full human-readable event log (off by default; the digest
-    /// is always maintained).
+    /// is always maintained). Entries appear grouped by node within each
+    /// lookahead window — the canonical fold order.
     pub fn record_trace(&mut self, record: bool) {
         self.trace = Transcript::new(record);
+        self.notes = WindowNotes::new(self.nodes.len(), record);
     }
 
     /// Current virtual time.
@@ -109,7 +190,23 @@ impl<A: Actor> Runtime<A> {
         &self.neighbors[id as usize]
     }
 
-    /// Deliver `on_start` to every node (in id order) at time 0.
+    /// The conservative lookahead: no transmission can arrive sooner than
+    /// this many ticks after it was sent, so shards advanced in windows
+    /// of this width only exchange messages at window boundaries.
+    pub(crate) fn lookahead(&self) -> u64 {
+        self.faults.min_delay()
+    }
+
+    /// End the current digest window: sample the pending-event count and
+    /// fold per-node sub-digests into the transcript in node-id order.
+    fn fold_window(&mut self) {
+        self.stats.max_queue_depth = self.stats.max_queue_depth.max(self.queue.len());
+        self.notes.fold_into(&mut self.trace);
+    }
+
+    /// Deliver `on_start` to every node (in id order) at time 0, then
+    /// fold any records it produced (drops of time-0 sends) as a
+    /// pseudo-window of their own.
     pub fn start(&mut self) {
         for id in 0..self.nodes.len() as u32 {
             let mut ctx = std::mem::take(&mut self.scratch);
@@ -118,35 +215,54 @@ impl<A: Actor> Runtime<A> {
             self.flush(&mut ctx);
             self.scratch = ctx;
         }
+        self.fold_window();
     }
 
     /// Process events until the queue is empty or `max_events` have been
     /// handled; returns true iff the run went quiescent. Protocols are
     /// responsible for termination (bounded timer schedules); the cap is a
     /// backstop against runaway retransmit loops.
+    ///
+    /// Capped runs stay on the sequential executor and fold whatever
+    /// partial window is open when the cap strikes, so a capped digest
+    /// only matches another identically-capped run.
     pub fn run_with_limit(&mut self, max_events: u64) -> bool {
+        let lookahead = self.lookahead();
         for _ in 0..max_events {
-            let Some(ev) = self.queue.pop() else {
+            let Some(t) = self.queue.peek_time() else {
+                self.fold_window();
                 return true;
             };
+            let window = t / lookahead;
+            if window > self.cur_window {
+                self.fold_window();
+                self.cur_window = window;
+            }
+            let ev = self.queue.pop().expect("peeked event vanished");
             debug_assert!(ev.time >= self.now, "time must be monotone");
             self.now = ev.time;
+            let node = ev.key.node;
             match ev.kind {
-                EventKind::Deliver { from, to, msg } => {
+                EventKind::Deliver { msg } => {
+                    let from = ev.key.src;
                     self.stats.delivered += 1;
                     self.stats.kind(msg.kind()).delivered += 1;
-                    self.trace
-                        .note(format_args!("D t={} {}->{} {:?}", self.now, from, to, msg));
+                    self.notes.note(
+                        node,
+                        format_args!("D t={} {}->{} {:?}", self.now, from, node, msg),
+                    );
                     let mut ctx = std::mem::take(&mut self.scratch);
-                    ctx.reset(to, self.now);
-                    self.nodes[to as usize].on_message(&mut ctx, from, msg);
+                    ctx.reset(node, self.now);
+                    self.nodes[node as usize].on_message(&mut ctx, from, msg);
                     self.flush(&mut ctx);
                     self.scratch = ctx;
                 }
-                EventKind::Timer { node, timer } => {
+                EventKind::Timer { timer } => {
                     self.stats.timers_fired += 1;
-                    self.trace
-                        .note(format_args!("T t={} n={} id={}", self.now, node, timer));
+                    self.notes.note(
+                        node,
+                        format_args!("T t={} n={} id={}", self.now, node, timer),
+                    );
                     let mut ctx = std::mem::take(&mut self.scratch);
                     ctx.reset(node, self.now);
                     self.nodes[node as usize].on_timer(&mut ctx, timer);
@@ -155,10 +271,12 @@ impl<A: Actor> Runtime<A> {
                 }
             }
         }
+        self.fold_window();
         self.queue.is_empty()
     }
 
-    /// Run to quiescence (unbounded; see [`Self::run_with_limit`]).
+    /// Run to quiescence on the sequential executor (see
+    /// [`Self::run_with_limit`]).
     pub fn run(&mut self) -> u64 {
         self.run_with_limit(u64::MAX);
         self.now
@@ -185,9 +303,11 @@ impl<A: Actor> Runtime<A> {
         }
         for (at, timer) in ctx.timers.drain(..) {
             self.stats.timers_set += 1;
-            self.queue.push(at, EventKind::Timer { node, timer });
+            let seq = self.arm_seq[node as usize];
+            self.arm_seq[node as usize] += 1;
+            self.queue
+                .push(at, EventKey::timer(node, seq), EventKind::Timer { timer });
         }
-        self.stats.max_queue_depth = self.stats.max_queue_depth.max(self.queue.high_water());
     }
 
     /// Validate a unicast against the `G*` locality discipline, then hand
@@ -204,40 +324,57 @@ impl<A: Actor> Runtime<A> {
         );
         if from == to || self.neighbors[from as usize].binary_search(&to).is_err() {
             self.stats.non_neighbor_sends += 1;
-            self.trace
-                .note(format_args!("L t={} {}->{} {:?}", self.now, from, to, msg));
+            self.notes.note(
+                from,
+                format_args!("L t={} {}->{} {:?}", self.now, from, to, msg),
+            );
             return;
         }
         self.transmit_link(from, to, msg);
     }
 
-    /// Push one copy across a radio link, applying the fault model.
+    /// Push one copy across a radio link, applying the fault model on the
+    /// link's private RNG stream.
     fn transmit_link(&mut self, from: u32, to: u32, msg: A::Msg) {
         self.stats.sent += 1;
         self.stats.kind(msg.kind()).sent += 1;
-        match self.faults.transmit(&mut self.rng) {
+        let seed = self.seed;
+        let link = self
+            .links
+            .entry(link_key(from, to))
+            .or_insert_with(|| LinkState::new(seed, from, to));
+        match self.faults.transmit(&mut link.rng) {
             TransmitOutcome::Dropped => {
                 self.stats.dropped += 1;
                 self.stats.kind(msg.kind()).dropped += 1;
-                self.trace
-                    .note(format_args!("X t={} {}->{} {:?}", self.now, from, to, msg));
+                self.notes.note(
+                    from,
+                    format_args!("X t={} {}->{} {:?}", self.now, from, to, msg),
+                );
             }
             TransmitOutcome::Delivered(d) => {
-                self.queue
-                    .push(self.now + d, EventKind::Deliver { from, to, msg });
+                let seq = link.copies;
+                link.copies += 1;
+                self.queue.push(
+                    self.now + d,
+                    EventKey::deliver(from, to, seq),
+                    EventKind::Deliver { msg },
+                );
             }
             TransmitOutcome::Duplicated(d1, d2) => {
                 self.stats.duplicated += 1;
+                let seq = link.copies;
+                link.copies += 2;
                 self.queue.push(
                     self.now + d1,
-                    EventKind::Deliver {
-                        from,
-                        to,
-                        msg: msg.clone(),
-                    },
+                    EventKey::deliver(from, to, seq),
+                    EventKind::Deliver { msg: msg.clone() },
                 );
-                self.queue
-                    .push(self.now + d2, EventKind::Deliver { from, to, msg });
+                self.queue.push(
+                    self.now + d2,
+                    EventKey::deliver(from, to, seq + 1),
+                    EventKind::Deliver { msg },
+                );
             }
         }
     }
@@ -326,6 +463,33 @@ mod tests {
         assert_eq!(t1, t2);
         let (d3, _) = run(8);
         assert_ne!(d1, d3, "different seeds should diverge");
+    }
+
+    /// Link streams are independent: the fate of traffic on one link must
+    /// not depend on how much traffic other links carried first.
+    #[test]
+    fn link_rng_streams_are_independent_of_other_links() {
+        let f = FaultConfig {
+            drop_prob: 0.5,
+            duplicate_prob: 0.2,
+            delay: DelayDist::Uniform { min: 1, max: 4 },
+        };
+        let fates = |prior_traffic: u64| {
+            let mut link = LinkState::new(99, 3, 4);
+            let mut other = LinkState::new(99, 1, 2);
+            for _ in 0..prior_traffic {
+                f.transmit(&mut other.rng);
+            }
+            (0..50)
+                .map(|_| f.transmit(&mut link.rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(fates(0), fates(1000));
+        // Directions are distinct streams.
+        use rand::RngCore;
+        let mut a = LinkState::new(99, 3, 4);
+        let mut b = LinkState::new(99, 4, 3);
+        assert_ne!(a.rng.next_u64(), b.rng.next_u64());
     }
 
     #[test]

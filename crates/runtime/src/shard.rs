@@ -1,0 +1,621 @@
+//! Sharded parallel execution of the runtime under conservative
+//! lookahead, with bit-identical replay digests.
+//!
+//! # Design
+//!
+//! Nodes are partitioned into spatial shards by grid cell (cell side =
+//! the radio range, the same cell notion as `adhoc_geom::GridIndex`);
+//! each shard owns its nodes, their pending events, and the RNG streams
+//! of every directed link *originating* at one of its nodes. Shards
+//! advance concurrently on worker threads (vendored `rayon::scope`, real
+//! OS threads) through **epochs**: half-open windows `[k·L, (k+1)·L)`
+//! where `L` is the fault model's minimum link delay (≥ 1 tick). Because
+//! every transmission takes at least `L` ticks, a message sent during
+//! epoch `k` cannot arrive before epoch `k+1` — so within an epoch each
+//! shard is causally independent, and cross-shard messages are exchanged
+//! at the barrier between epochs. Timers are node-local and may fire
+//! intra-epoch; they never cross shards.
+//!
+//! # Why the digest is stable
+//!
+//! * Each directed link's fault fates come from its own RNG stream,
+//!   advanced in the sender's deterministic emission order — identical
+//!   whether the sender's shard runs first, last, or alone.
+//! * Events tie-break by the canonical [`EventKey`], so each node
+//!   processes its events in the same order under any layout.
+//! * Event records accumulate in per-node sub-digests and are folded
+//!   into the global digest in node-id order at each epoch barrier —
+//!   exactly where the sequential executor folds its window boundaries.
+//!
+//! The result: `run()`, `run_sharded(1)`, and `run_sharded(8)` produce
+//! bit-identical transcripts, stats, and actor states.
+
+use crate::event::{Event, EventKind, EventQueue};
+use crate::fault::{FaultConfig, TransmitOutcome};
+use crate::node::{Actor, Ctx, Message};
+use crate::runtime::{link_key, shard_threads_from_env, LinkState, Runtime};
+use crate::stats::{NetStats, WindowNotes};
+use adhoc_geom::Point;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::mpsc::{channel, Receiver, Sender};
+
+/// Assign each node to a shard: nodes sharing a grid cell (side =
+/// `range`) stay together, distinct cells round-robin over at most
+/// `threads` shards. Returns `(shard_of_node, shard_count)`.
+fn partition(positions: &[Point], range: f64, threads: usize) -> (Vec<u32>, usize) {
+    let cell = |p: &Point| ((p.x / range).floor() as i64, (p.y / range).floor() as i64);
+    let mut cells: Vec<(i64, i64)> = positions.iter().map(cell).collect();
+    let mut distinct = cells.clone();
+    distinct.sort_unstable();
+    distinct.dedup();
+    let shards = threads.min(distinct.len()).max(1);
+    let shard_of = cells
+        .drain(..)
+        .map(|c| {
+            let idx = distinct.binary_search(&c).expect("cell must be present");
+            (idx % shards) as u32
+        })
+        .collect();
+    (shard_of, shards)
+}
+
+/// One shard: a self-contained slice of the runtime state.
+struct Shard<A: Actor> {
+    id: u32,
+    nodes: BTreeMap<u32, A>,
+    queue: EventQueue<A::Msg>,
+    /// RNG streams of directed links originating in this shard.
+    links: HashMap<u64, LinkState>,
+    /// Timer arm counters (full length; only own nodes' entries used).
+    arm_seq: Vec<u64>,
+    faults: FaultConfig,
+    seed: u64,
+    stats: NetStats,
+    notes: WindowNotes,
+    scratch: Ctx<A::Msg>,
+    /// Deliveries bound for other shards, flushed at the epoch barrier.
+    outbox: Vec<Event<A::Msg>>,
+    /// Time of the last event processed.
+    last_time: u64,
+}
+
+impl<A: Actor> Shard<A> {
+    /// Process every owned event with `time < until` (one epoch). This
+    /// mirrors `Runtime::run_with_limit`'s event loop exactly — the
+    /// digest-parity tests pin the two implementations together.
+    fn advance(&mut self, until: u64, neighbors: &[Vec<u32>], shard_of: &[u32], total_nodes: u32) {
+        while let Some(t) = self.queue.peek_time() {
+            if t >= until {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked event vanished");
+            self.last_time = self.last_time.max(ev.time);
+            let node = ev.key.node;
+            let now = ev.time;
+            match ev.kind {
+                EventKind::Deliver { msg } => {
+                    let from = ev.key.src;
+                    self.stats.delivered += 1;
+                    self.stats.kind(msg.kind()).delivered += 1;
+                    self.notes.note(
+                        node,
+                        format_args!("D t={} {}->{} {:?}", now, from, node, msg),
+                    );
+                    let mut ctx = std::mem::take(&mut self.scratch);
+                    ctx.reset(node, now);
+                    self.nodes
+                        .get_mut(&node)
+                        .expect("event routed to wrong shard")
+                        .on_message(&mut ctx, from, msg);
+                    self.flush(&mut ctx, neighbors, shard_of, total_nodes);
+                    self.scratch = ctx;
+                }
+                EventKind::Timer { timer } => {
+                    self.stats.timers_fired += 1;
+                    self.notes
+                        .note(node, format_args!("T t={} n={} id={}", now, node, timer));
+                    let mut ctx = std::mem::take(&mut self.scratch);
+                    ctx.reset(node, now);
+                    self.nodes
+                        .get_mut(&node)
+                        .expect("event routed to wrong shard")
+                        .on_timer(&mut ctx, timer);
+                    self.flush(&mut ctx, neighbors, shard_of, total_nodes);
+                    self.scratch = ctx;
+                }
+            }
+        }
+    }
+
+    fn flush(
+        &mut self,
+        ctx: &mut Ctx<A::Msg>,
+        neighbors: &[Vec<u32>],
+        shard_of: &[u32],
+        total_nodes: u32,
+    ) {
+        let node = ctx.node;
+        let now = ctx.now();
+        for (to, msg) in ctx.sends.drain(..) {
+            assert!(
+                to < total_nodes,
+                "node {node} sent {:?} to nonexistent node {to} (only {total_nodes} nodes exist)",
+                msg
+            );
+            if node == to || neighbors[node as usize].binary_search(&to).is_err() {
+                self.stats.non_neighbor_sends += 1;
+                self.notes
+                    .note(node, format_args!("L t={} {}->{} {:?}", now, node, to, msg));
+                continue;
+            }
+            self.transmit_link(now, node, to, msg, shard_of);
+        }
+        for msg in ctx.broadcasts.drain(..) {
+            self.stats.broadcasts += 1;
+            for &to in &neighbors[node as usize] {
+                self.transmit_link(now, node, to, msg.clone(), shard_of);
+            }
+        }
+        for (at, timer) in ctx.timers.drain(..) {
+            self.stats.timers_set += 1;
+            let seq = self.arm_seq[node as usize];
+            self.arm_seq[node as usize] += 1;
+            self.queue.push(
+                at,
+                crate::event::EventKey::timer(node, seq),
+                EventKind::Timer { timer },
+            );
+        }
+    }
+
+    fn transmit_link(&mut self, now: u64, from: u32, to: u32, msg: A::Msg, shard_of: &[u32]) {
+        self.stats.sent += 1;
+        self.stats.kind(msg.kind()).sent += 1;
+        let seed = self.seed;
+        let link = self
+            .links
+            .entry(link_key(from, to))
+            .or_insert_with(|| LinkState::new(seed, from, to));
+        match self.faults.transmit(&mut link.rng) {
+            TransmitOutcome::Dropped => {
+                self.stats.dropped += 1;
+                self.stats.kind(msg.kind()).dropped += 1;
+                self.notes
+                    .note(from, format_args!("X t={} {}->{} {:?}", now, from, to, msg));
+            }
+            TransmitOutcome::Delivered(d) => {
+                let seq = link.copies;
+                link.copies += 1;
+                self.route(
+                    Event {
+                        time: now + d,
+                        key: crate::event::EventKey::deliver(from, to, seq),
+                        kind: EventKind::Deliver { msg },
+                    },
+                    shard_of,
+                );
+            }
+            TransmitOutcome::Duplicated(d1, d2) => {
+                self.stats.duplicated += 1;
+                let seq = link.copies;
+                link.copies += 2;
+                self.route(
+                    Event {
+                        time: now + d1,
+                        key: crate::event::EventKey::deliver(from, to, seq),
+                        kind: EventKind::Deliver { msg: msg.clone() },
+                    },
+                    shard_of,
+                );
+                self.route(
+                    Event {
+                        time: now + d2,
+                        key: crate::event::EventKey::deliver(from, to, seq + 1),
+                        kind: EventKind::Deliver { msg },
+                    },
+                    shard_of,
+                );
+            }
+        }
+    }
+
+    fn route(&mut self, ev: Event<A::Msg>, shard_of: &[u32]) {
+        if shard_of[ev.key.node as usize] == self.id {
+            self.queue.insert(ev);
+        } else {
+            self.outbox.push(ev);
+        }
+    }
+}
+
+/// Coordinator → worker command.
+enum Cmd<M> {
+    /// Process one epoch: merge `inbox`, then run events `< until`.
+    Advance { until: u64, inbox: Vec<Event<M>> },
+    /// Ship the shard state back and exit.
+    Finish,
+}
+
+/// Worker → coordinator epoch report.
+struct EpochReport<M> {
+    shard: u32,
+    /// Cross-shard deliveries produced this epoch.
+    outbox: Vec<Event<M>>,
+    /// Dirty `(node, sub-digest)` pairs, sorted by node.
+    folds: Vec<(u32, u64)>,
+    /// Rendered records (recording mode only), sorted by node.
+    logs: Vec<(u32, String)>,
+    /// Events still queued after the epoch.
+    queue_len: usize,
+    /// Firing time of the shard's next queued event.
+    next_time: Option<u64>,
+    /// Latest event time processed so far.
+    last_time: u64,
+}
+
+enum Report<A: Actor> {
+    Epoch(EpochReport<A::Msg>),
+    Done(u32, Box<Shard<A>>),
+}
+
+fn worker_loop<A: Actor>(
+    mut shard: Shard<A>,
+    cmds: Receiver<Cmd<A::Msg>>,
+    reports: Sender<Report<A>>,
+    neighbors: &[Vec<u32>],
+    shard_of: &[u32],
+) {
+    let total_nodes = shard_of.len() as u32;
+    while let Ok(cmd) = cmds.recv() {
+        match cmd {
+            Cmd::Advance { until, inbox } => {
+                for ev in inbox {
+                    shard.queue.insert(ev);
+                }
+                shard.advance(until, neighbors, shard_of, total_nodes);
+                let (folds, logs) = shard.notes.take_folds();
+                let report = EpochReport {
+                    shard: shard.id,
+                    outbox: std::mem::take(&mut shard.outbox),
+                    folds,
+                    logs,
+                    queue_len: shard.queue.len(),
+                    next_time: shard.queue.peek_time(),
+                    last_time: shard.last_time,
+                };
+                if reports.send(Report::Epoch(report)).is_err() {
+                    return;
+                }
+            }
+            Cmd::Finish => {
+                let id = shard.id;
+                let _ = reports.send(Report::Done(id, Box::new(shard)));
+                return;
+            }
+        }
+    }
+}
+
+impl<A: Actor> Runtime<A>
+where
+    A: Send,
+    A::Msg: Send,
+{
+    /// Run to quiescence on up to `threads` worker threads, sharding
+    /// nodes by spatial cell. Produces **bit-identical** transcripts,
+    /// stats, and actor states to the sequential [`Runtime::run`] — any
+    /// divergence is a bug (pinned by the digest-parity tests).
+    ///
+    /// Call after [`Runtime::start`], exactly like `run()`.
+    pub fn run_sharded(&mut self, threads: usize) -> u64 {
+        let (shard_of, shards) = partition(&self.positions, self.range, threads);
+        if shards <= 1 {
+            return self.run();
+        }
+        let lookahead = self.faults.min_delay();
+        let n = self.nodes.len();
+        let recording = self.trace.recording();
+
+        // Split runtime state into per-shard slices.
+        let mut per: Vec<Shard<A>> = (0..shards as u32)
+            .map(|id| Shard {
+                id,
+                nodes: BTreeMap::new(),
+                queue: EventQueue::new(),
+                links: HashMap::new(),
+                arm_seq: self.arm_seq.clone(),
+                faults: self.faults,
+                seed: self.seed,
+                stats: NetStats::default(),
+                notes: WindowNotes::new(n, recording),
+                scratch: Ctx::default(),
+                outbox: Vec::new(),
+                last_time: self.now,
+            })
+            .collect();
+        for (id, node) in std::mem::take(&mut self.nodes).into_iter().enumerate() {
+            per[shard_of[id] as usize].nodes.insert(id as u32, node);
+        }
+        while let Some(ev) = self.queue.pop() {
+            per[shard_of[ev.key.node as usize] as usize]
+                .queue
+                .insert(ev);
+        }
+        for (key, link) in self.links.drain() {
+            let from = (key >> 32) as u32;
+            per[shard_of[from as usize] as usize]
+                .links
+                .insert(key, link);
+        }
+
+        // Coordinator-side per-shard bookkeeping.
+        let mut inboxes: Vec<Vec<Event<A::Msg>>> = (0..shards).map(|_| Vec::new()).collect();
+        let mut next_times: Vec<Option<u64>> = per.iter().map(|s| s.queue.peek_time()).collect();
+
+        let neighbors = &self.neighbors;
+        let shard_of_ref = &shard_of;
+        let (report_tx, report_rx) = channel::<Report<A>>();
+        let mut cmd_txs: Vec<Sender<Cmd<A::Msg>>> = Vec::with_capacity(shards);
+
+        let (final_now, mut done) = rayon::scope(|scope| {
+            for shard in per.drain(..) {
+                let (cmd_tx, cmd_rx) = channel::<Cmd<A::Msg>>();
+                cmd_txs.push(cmd_tx);
+                let tx = report_tx.clone();
+                scope.spawn(move || worker_loop(shard, cmd_rx, tx, neighbors, shard_of_ref));
+            }
+            drop(report_tx);
+
+            let mut now = self.now;
+            loop {
+                // Earliest pending event anywhere (queues or unrouted
+                // inboxes); quiescent when none.
+                let pending_min = next_times
+                    .iter()
+                    .flatten()
+                    .copied()
+                    .chain(inboxes.iter().flat_map(|ib| ib.iter().map(|ev| ev.time)))
+                    .min();
+                let Some(t) = pending_min else {
+                    break;
+                };
+                // One epoch: the lookahead window containing `t`.
+                let until = (t / lookahead + 1) * lookahead;
+                for (tx, inbox) in cmd_txs.iter().zip(inboxes.iter_mut()) {
+                    tx.send(Cmd::Advance {
+                        until,
+                        inbox: std::mem::take(inbox),
+                    })
+                    .expect("worker died");
+                }
+                let mut pending_total = 0usize;
+                let mut folds: Vec<(u32, u64)> = Vec::new();
+                let mut logs: Vec<(u32, String)> = Vec::new();
+                for _ in 0..shards {
+                    let Ok(Report::Epoch(r)) = report_rx.recv() else {
+                        panic!("worker died mid-epoch");
+                    };
+                    pending_total += r.queue_len + r.outbox.len();
+                    next_times[r.shard as usize] = r.next_time;
+                    now = now.max(r.last_time);
+                    folds.extend(r.folds);
+                    logs.extend(r.logs);
+                    for ev in r.outbox {
+                        inboxes[shard_of[ev.key.node as usize] as usize].push(ev);
+                    }
+                }
+                // Barrier: fold this epoch's sub-digests in node-id
+                // order — node sets are disjoint across shards, so a
+                // global sort reproduces the sequential fold exactly.
+                folds.sort_unstable_by_key(|&(node, _)| node);
+                for (node, sub) in folds {
+                    self.trace.fold_node(node, sub);
+                }
+                logs.sort_by_key(|&(node, _)| node);
+                for (_, entry) in logs {
+                    self.trace.push_entry(entry);
+                }
+                self.stats.max_queue_depth = self.stats.max_queue_depth.max(pending_total);
+            }
+
+            for tx in &cmd_txs {
+                tx.send(Cmd::Finish).expect("worker died");
+            }
+            let mut done: Vec<Option<Box<Shard<A>>>> = (0..shards).map(|_| None).collect();
+            for _ in 0..shards {
+                let Ok(Report::Done(id, state)) = report_rx.recv() else {
+                    panic!("worker died at finish");
+                };
+                done[id as usize] = Some(state);
+            }
+            (now, done)
+        });
+
+        // Reassemble the runtime: nodes in id order, links and arm
+        // counters merged, per-shard stats summed.
+        let mut nodes: Vec<Option<A>> = (0..n).map(|_| None).collect();
+        for shard in done.iter_mut().map(|s| s.take().expect("missing shard")) {
+            let shard = *shard;
+            for (id, node) in shard.nodes {
+                nodes[id as usize] = Some(node);
+            }
+            self.links.extend(shard.links);
+            for (id, &owner) in shard_of.iter().enumerate() {
+                if owner == shard.id {
+                    self.arm_seq[id] = shard.arm_seq[id];
+                }
+            }
+            self.stats.absorb(&shard.stats);
+        }
+        self.nodes = nodes
+            .into_iter()
+            .map(|n| n.expect("node lost in resharding"))
+            .collect();
+        self.now = final_now;
+        self.now
+    }
+
+    /// Run to quiescence on the executor selected by the
+    /// `ADHOC_SHARD_THREADS` environment variable: sequential when unset
+    /// or `1`, sharded otherwise. Digests are identical either way.
+    pub fn run_auto(&mut self) -> u64 {
+        match shard_threads_from_env() {
+            0 | 1 => self.run(),
+            t => self.run_sharded(t),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::DelayDist;
+
+    /// A mesh gossip protocol exercising broadcasts, unicasts, timers,
+    /// and multi-hop chatter — enough surface to catch ordering bugs.
+    #[derive(Debug, Clone, PartialEq)]
+    struct Chatter {
+        id: u32,
+        rounds_left: u32,
+        heard: Vec<(u32, u32)>,
+    }
+
+    #[derive(Debug, Clone)]
+    struct Word(u32);
+
+    impl Message for Word {
+        fn kind(&self) -> &'static str {
+            "word"
+        }
+    }
+
+    impl Actor for Chatter {
+        type Msg = Word;
+
+        fn on_start(&mut self, ctx: &mut Ctx<Word>) {
+            ctx.set_timer(1 + (self.id as u64 % 3), 0);
+        }
+
+        fn on_message(&mut self, ctx: &mut Ctx<Word>, from: u32, msg: Word) {
+            self.heard.push((from, msg.0));
+            if msg.0 > 0 && self.heard.len().is_multiple_of(2) {
+                ctx.send(from, Word(msg.0 - 1));
+            }
+        }
+
+        fn on_timer(&mut self, ctx: &mut Ctx<Word>, _timer: u32) {
+            ctx.broadcast(Word(self.id % 4 + 1));
+            if self.rounds_left > 0 {
+                self.rounds_left -= 1;
+                ctx.set_timer(2, 0);
+            }
+        }
+    }
+
+    fn grid_points(side: usize) -> Vec<Point> {
+        let mut pts = Vec::new();
+        for y in 0..side {
+            for x in 0..side {
+                pts.push(Point::new(x as f64 * 0.9, y as f64 * 0.9));
+            }
+        }
+        pts
+    }
+
+    fn build(faults: FaultConfig, seed: u64) -> Runtime<Chatter> {
+        let pts = grid_points(5);
+        let nodes = (0..pts.len() as u32)
+            .map(|id| Chatter {
+                id,
+                rounds_left: 4,
+                heard: Vec::new(),
+            })
+            .collect();
+        Runtime::new(nodes, &pts, 1.0, faults, seed)
+    }
+
+    /// The headline guarantee: sequential and sharded runs (several
+    /// thread counts) agree on digest, stats, final actor state, and
+    /// virtual end time.
+    #[test]
+    fn sharded_run_matches_sequential_bit_for_bit() {
+        let faults = FaultConfig {
+            drop_prob: 0.2,
+            duplicate_prob: 0.1,
+            delay: DelayDist::Uniform { min: 1, max: 4 },
+        };
+        let mut seq = build(faults, 42);
+        seq.record_trace(true);
+        seq.start();
+        let seq_now = seq.run();
+        for threads in [2, 4, 8] {
+            let mut sh = build(faults, 42);
+            sh.record_trace(true);
+            sh.start();
+            let sh_now = sh.run_sharded(threads);
+            assert_eq!(
+                seq.transcript().digest(),
+                sh.transcript().digest(),
+                "digest diverged at {threads} threads"
+            );
+            assert_eq!(seq.transcript().entries(), sh.transcript().entries());
+            assert_eq!(
+                seq.stats(),
+                sh.stats(),
+                "stats diverged at {threads} threads"
+            );
+            assert_eq!(seq.nodes(), sh.nodes(), "actor state diverged");
+            assert_eq!(seq_now, sh_now, "virtual end time diverged");
+        }
+    }
+
+    /// Lookahead > 1 (minimum link delay 3) exercises multi-tick epochs
+    /// with intra-epoch timers.
+    #[test]
+    fn sharded_parity_with_wide_lookahead() {
+        let faults = FaultConfig {
+            drop_prob: 0.15,
+            duplicate_prob: 0.05,
+            delay: DelayDist::Uniform { min: 3, max: 7 },
+        };
+        let mut seq = build(faults, 7);
+        seq.start();
+        seq.run();
+        let mut sh = build(faults, 7);
+        sh.start();
+        sh.run_sharded(4);
+        assert_eq!(seq.transcript().digest(), sh.transcript().digest());
+        assert_eq!(seq.stats(), sh.stats());
+        assert_eq!(seq.nodes(), sh.nodes());
+    }
+
+    /// One shard (or one thread) falls back to the sequential path.
+    #[test]
+    fn single_thread_sharded_is_sequential() {
+        let mut a = build(FaultConfig::lossy(0.1), 5);
+        a.start();
+        a.run();
+        let mut b = build(FaultConfig::lossy(0.1), 5);
+        b.start();
+        b.run_sharded(1);
+        assert_eq!(a.transcript().digest(), b.transcript().digest());
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn partition_keeps_cells_together_and_bounds_shards() {
+        let pts = grid_points(4);
+        let (shard_of, shards) = partition(&pts, 1.0, 3);
+        assert!(shards <= 3);
+        assert_eq!(shard_of.len(), pts.len());
+        // Nodes in the same cell share a shard.
+        for (i, a) in pts.iter().enumerate() {
+            for (j, b) in pts.iter().enumerate() {
+                let cell = |p: &Point| ((p.x).floor() as i64, (p.y).floor() as i64);
+                if cell(a) == cell(b) {
+                    assert_eq!(shard_of[i], shard_of[j]);
+                }
+            }
+        }
+    }
+}

@@ -66,6 +66,30 @@ impl NetStats {
     pub(crate) fn kind(&mut self, k: &'static str) -> &mut KindCounts {
         self.per_kind.entry(k).or_default()
     }
+
+    /// Fold another stats block into this one (sharded execution merges
+    /// per-shard counters at the end of a run). `max_queue_depth` is
+    /// deliberately *not* merged: it is sampled globally at epoch folds
+    /// by whichever executor is driving.
+    pub(crate) fn absorb(&mut self, other: &NetStats) {
+        self.sent += other.sent;
+        self.delivered += other.delivered;
+        self.dropped += other.dropped;
+        self.duplicated += other.duplicated;
+        self.broadcasts += other.broadcasts;
+        self.timers_set += other.timers_set;
+        self.timers_fired += other.timers_fired;
+        self.retransmits += other.retransmits;
+        self.acks += other.acks;
+        self.rto_fired += other.rto_fired;
+        self.non_neighbor_sends += other.non_neighbor_sends;
+        for (k, c) in &other.per_kind {
+            let mine = self.per_kind.entry(k).or_default();
+            mine.sent += c.sent;
+            mine.delivered += c.delivered;
+            mine.dropped += c.dropped;
+        }
+    }
 }
 
 /// A replay transcript: a rolling FNV-1a digest over every event the
@@ -73,6 +97,14 @@ impl NetStats {
 /// the full event log. Two runs are *replay-identical* iff their digests
 /// match; [`crate::Runtime::record_trace`] additionally keeps the
 /// human-readable entries so tests can diff them.
+///
+/// The digest is folded **canonically**: event records accumulate in
+/// per-node sub-digests ([`WindowNotes`]) for the duration of one
+/// lookahead window, and at each window boundary the dirty `(node,
+/// sub-digest)` pairs are folded into the global digest in node-id
+/// order. A node's events happen in a deterministic local order no
+/// matter how execution is laid out, so the sequential executor and the
+/// sharded executor (any thread count) produce bit-identical digests.
 #[derive(Debug, Clone)]
 pub struct Transcript {
     digest: u64,
@@ -117,23 +149,28 @@ impl Transcript {
         }
     }
 
-    /// Fold one event record into the digest (and the log if recording).
-    ///
-    /// The record is streamed into the digest via [`FnvSink`]; the only
-    /// time it is materialized as a `String` is when full-entry recording
-    /// is on — the hot path (tracing off) never allocates here.
-    pub(crate) fn note(&mut self, args: fmt::Arguments<'_>) {
-        if let Some(log) = &mut self.entries {
-            let entry = args.to_string();
-            FnvSink(&mut self.digest).write_str(&entry).unwrap();
-            log.push(entry);
-        } else {
-            // Formatting into the sink cannot fail: FnvSink never errors.
-            FnvSink(&mut self.digest).write_fmt(args).unwrap();
+    /// Whether full-entry recording is on.
+    pub(crate) fn recording(&self) -> bool {
+        self.entries.is_some()
+    }
+
+    /// Fold one node's window sub-digest into the global digest. Callers
+    /// must fold in node-id order within a window — that canonical order
+    /// is what makes the digest independent of execution layout.
+    pub(crate) fn fold_node(&mut self, node: u32, sub: u64) {
+        let mut d = self.digest;
+        for b in node.to_le_bytes().into_iter().chain(sub.to_le_bytes()) {
+            d ^= b as u64;
+            d = d.wrapping_mul(FNV_PRIME);
         }
-        // Separator so concatenation ambiguity can't collide entries.
-        self.digest ^= 0xff;
-        self.digest = self.digest.wrapping_mul(FNV_PRIME);
+        self.digest = d;
+    }
+
+    /// Append one rendered event record to the full log (recording only).
+    pub(crate) fn push_entry(&mut self, entry: String) {
+        if let Some(log) = &mut self.entries {
+            log.push(entry);
+        }
     }
 
     /// The rolling digest over all events so far.
@@ -147,66 +184,218 @@ impl Transcript {
     }
 }
 
+/// Per-node event-record accumulator for one lookahead window.
+///
+/// Every deliver/drop/timer record is streamed (allocation-free, via
+/// [`FnvSink`]) into the sub-digest of the node it belongs to — the
+/// receiver for deliveries, the sender for drops, the owner for timers.
+/// All of a node's records are produced while processing that node's own
+/// events, which occur in a canonical order regardless of how execution
+/// is sharded; folding the dirty sub-digests in node-id order at each
+/// window boundary therefore yields a layout-invariant global digest.
+/// Rendered `(node, record)` pairs shipped from shard workers when the
+/// transcript is recording.
+pub(crate) type NodeLogs = Vec<(u32, String)>;
+
+#[derive(Debug, Clone)]
+pub(crate) struct WindowNotes {
+    /// Sub-digest per node; `FNV_OFFSET` when clean this window.
+    subs: Vec<u64>,
+    /// Nodes touched this window (possibly with duplicates; deduped at
+    /// drain). Capacity is retained across windows, so steady-state
+    /// noting and folding never allocate.
+    dirty: Vec<u32>,
+    /// Rendered records `(node, entry)` in emission order, kept only when
+    /// full-entry recording is on.
+    logs: Option<Vec<(u32, String)>>,
+}
+
+impl WindowNotes {
+    pub(crate) fn new(n: usize, record: bool) -> Self {
+        WindowNotes {
+            subs: vec![FNV_OFFSET; n],
+            dirty: Vec::new(),
+            logs: if record { Some(Vec::new()) } else { None },
+        }
+    }
+
+    /// Stream one event record into `node`'s sub-digest for the current
+    /// window. The record is only materialized as a `String` when
+    /// recording is on — the hot path never allocates here.
+    pub(crate) fn note(&mut self, node: u32, args: fmt::Arguments<'_>) {
+        let sub = &mut self.subs[node as usize];
+        if *sub == FNV_OFFSET {
+            self.dirty.push(node);
+        }
+        if let Some(log) = &mut self.logs {
+            let entry = args.to_string();
+            FnvSink(sub).write_str(&entry).unwrap();
+            log.push((node, entry));
+        } else {
+            // Formatting into the sink cannot fail: FnvSink never errors.
+            FnvSink(sub).write_fmt(args).unwrap();
+        }
+        // Separator so concatenation ambiguity can't collide records.
+        *sub ^= 0xff;
+        *sub = sub.wrapping_mul(FNV_PRIME);
+    }
+
+    /// End the current window: fold dirty sub-digests into `t` in node-id
+    /// order (and flush rendered records grouped by node), then reset for
+    /// the next window. Allocation-free when not recording.
+    pub(crate) fn fold_into(&mut self, t: &mut Transcript) {
+        self.dirty.sort_unstable();
+        self.dirty.dedup();
+        for &node in &self.dirty {
+            t.fold_node(node, self.subs[node as usize]);
+            self.subs[node as usize] = FNV_OFFSET;
+        }
+        self.dirty.clear();
+        if let Some(log) = &mut self.logs {
+            // Stable by node; per-node emission order preserved.
+            log.sort_by_key(|&(node, _)| node);
+            for (_, entry) in log.drain(..) {
+                t.push_entry(entry);
+            }
+        }
+    }
+
+    /// End the current window without a transcript at hand: return the
+    /// dirty `(node, sub-digest)` pairs sorted by node id, plus rendered
+    /// records when recording. Shard workers use this to ship their
+    /// window folds to the coordinator, which merges all shards' pairs in
+    /// node-id order before folding — reproducing exactly what
+    /// [`Self::fold_into`] does in the sequential executor.
+    pub(crate) fn take_folds(&mut self) -> (Vec<(u32, u64)>, NodeLogs) {
+        self.dirty.sort_unstable();
+        self.dirty.dedup();
+        let folds = self
+            .dirty
+            .drain(..)
+            .map(|node| {
+                let sub = self.subs[node as usize];
+                self.subs[node as usize] = FNV_OFFSET;
+                (node, sub)
+            })
+            .collect();
+        let logs = match &mut self.logs {
+            Some(log) => {
+                log.sort_by_key(|&(node, _)| node);
+                std::mem::take(log)
+            }
+            None => Vec::new(),
+        };
+        (folds, logs)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn digest_of(notes: &[(u32, &str)], record: bool) -> (u64, Option<Vec<String>>) {
+        let mut t = Transcript::new(record);
+        let mut w = WindowNotes::new(8, record);
+        for &(node, s) in notes {
+            w.note(node, format_args!("{s}"));
+        }
+        w.fold_into(&mut t);
+        (t.digest(), t.entries().map(|e| e.to_vec()))
+    }
+
     #[test]
-    fn digest_is_order_sensitive() {
-        let mut a = Transcript::new(false);
-        a.note(format_args!("x"));
-        a.note(format_args!("y"));
-        let mut b = Transcript::new(false);
-        b.note(format_args!("y"));
-        b.note(format_args!("x"));
-        assert_ne!(a.digest(), b.digest());
+    fn digest_is_order_sensitive_per_node() {
+        let (a, _) = digest_of(&[(0, "x"), (0, "y")], false);
+        let (b, _) = digest_of(&[(0, "y"), (0, "x")], false);
+        assert_ne!(a, b);
+    }
+
+    /// Notes to *different* nodes in one window fold in node-id order, so
+    /// the interleaving of distinct nodes' records doesn't matter — the
+    /// layout-invariance the sharded executor relies on.
+    #[test]
+    fn cross_node_interleaving_is_canonicalized() {
+        let (a, _) = digest_of(&[(2, "x"), (1, "y"), (2, "z")], false);
+        let (b, _) = digest_of(&[(1, "y"), (2, "x"), (2, "z")], false);
+        assert_eq!(a, b);
+    }
+
+    /// Splitting the same notes across window folds changes the digest
+    /// (fold boundaries are part of the canonical record).
+    #[test]
+    fn window_boundaries_are_significant() {
+        let mut t1 = Transcript::new(false);
+        let mut w = WindowNotes::new(2, false);
+        w.note(0, format_args!("x"));
+        w.note(0, format_args!("y"));
+        w.fold_into(&mut t1);
+        let mut t2 = Transcript::new(false);
+        let mut w = WindowNotes::new(2, false);
+        w.note(0, format_args!("x"));
+        w.fold_into(&mut t2);
+        w.note(0, format_args!("y"));
+        w.fold_into(&mut t2);
+        assert_ne!(t1.digest(), t2.digest());
     }
 
     #[test]
     fn digest_ignores_recording_flag() {
-        let mut a = Transcript::new(false);
-        let mut b = Transcript::new(true);
-        for s in ["p", "q", "r"] {
-            a.note(format_args!("{s}"));
-            b.note(format_args!("{s}"));
-        }
-        assert_eq!(a.digest(), b.digest());
-        assert_eq!(b.entries().unwrap().len(), 3);
-        assert!(a.entries().is_none());
+        let notes = [(1, "p"), (0, "q"), (1, "r")];
+        let (a, entries_a) = digest_of(&notes, false);
+        let (b, entries_b) = digest_of(&notes, true);
+        assert_eq!(a, b);
+        assert!(entries_a.is_none());
+        // Entries flush grouped by node, emission order within a node.
+        assert_eq!(entries_b.unwrap(), vec!["q", "p", "r"]);
     }
 
     #[test]
     fn separator_prevents_concatenation_collisions() {
-        let mut a = Transcript::new(false);
-        a.note(format_args!("ab"));
-        let mut b = Transcript::new(false);
-        b.note(format_args!("a"));
-        b.note(format_args!("b"));
-        assert_ne!(a.digest(), b.digest());
+        let (a, _) = digest_of(&[(0, "ab")], false);
+        let (b, _) = digest_of(&[(0, "a"), (0, "b")], false);
+        assert_ne!(a, b);
+    }
+
+    /// `take_folds` (shard worker path) must reproduce `fold_into`
+    /// (sequential path) exactly when the pairs are folded in node order.
+    #[test]
+    fn worker_folds_match_sequential_folds() {
+        let notes = [(3, "a"), (1, "b"), (3, "c"), (0, "d")];
+        let (seq, _) = digest_of(&notes, false);
+        let mut t = Transcript::new(false);
+        let mut w = WindowNotes::new(8, false);
+        for &(node, s) in &notes {
+            w.note(node, format_args!("{s}"));
+        }
+        let (folds, logs) = w.take_folds();
+        assert!(logs.is_empty());
+        assert_eq!(folds.iter().map(|&(n, _)| n).collect::<Vec<_>>(), [0, 1, 3]);
+        for (node, sub) in folds {
+            t.fold_node(node, sub);
+        }
+        assert_eq!(t.digest(), seq);
     }
 
     /// The streaming sink and the render-then-fold path must agree byte
     /// for byte, including on multi-fragment format strings.
     #[test]
     fn streamed_digest_equals_rendered_digest() {
-        let mut streamed = Transcript::new(false);
-        let mut rendered = Transcript::new(true);
+        let mut streamed = WindowNotes::new(4, false);
+        let mut rendered = WindowNotes::new(4, true);
         for i in 0..50u32 {
-            streamed.note(format_args!(
-                "D t={} {}->{} Msg({:?})",
-                i,
-                i + 1,
-                i + 2,
-                (i, "x")
-            ));
-            rendered.note(format_args!(
-                "D t={} {}->{} Msg({:?})",
-                i,
-                i + 1,
-                i + 2,
-                (i, "x")
-            ));
+            let node = i % 4;
+            streamed.note(
+                node,
+                format_args!("D t={} {}->{} Msg({:?})", i, i + 1, i + 2, (i, "x")),
+            );
+            rendered.note(
+                node,
+                format_args!("D t={} {}->{} Msg({:?})", i, i + 1, i + 2, (i, "x")),
+            );
         }
-        assert_eq!(streamed.digest(), rendered.digest());
+        let (mut a, mut b) = (Transcript::new(false), Transcript::new(true));
+        streamed.fold_into(&mut a);
+        rendered.fold_into(&mut b);
+        assert_eq!(a.digest(), b.digest());
     }
 }

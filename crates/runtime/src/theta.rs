@@ -328,6 +328,30 @@ pub fn run_theta_protocol(
     faults: FaultConfig,
     seed: u64,
 ) -> ThetaRun {
+    run_theta_protocol_sharded(
+        points,
+        sectors,
+        range,
+        timing,
+        faults,
+        seed,
+        crate::runtime::shard_threads_from_env(),
+    )
+}
+
+/// [`run_theta_protocol`] on an explicit number of worker threads
+/// (`<= 1` runs sequentially). The result — graph, stats, digest — is
+/// bit-identical at every thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn run_theta_protocol_sharded(
+    points: &[Point],
+    sectors: SectorPartition,
+    range: f64,
+    timing: ThetaTiming,
+    faults: FaultConfig,
+    seed: u64,
+    threads: usize,
+) -> ThetaRun {
     timing.validate(&faults);
     assert!(range.is_finite() && range > 0.0, "range must be positive");
     if points.is_empty() {
@@ -346,7 +370,11 @@ pub fn run_theta_protocol(
         .collect();
     let mut rt = Runtime::new(nodes, points, range, faults, seed);
     rt.start();
-    let finished_at = rt.run();
+    let finished_at = if threads > 1 {
+        rt.run_sharded(threads)
+    } else {
+        rt.run()
+    };
 
     let mut builder = GraphBuilder::new(points.len());
     let mut admitted_total = 0u64;

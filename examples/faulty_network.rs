@@ -9,8 +9,11 @@
 //! reliable-delivery sublayer — all bit-for-bit replayable from the seed.
 //!
 //! ```text
-//! cargo run --release --example faulty_network [n] [seed] [loss]
+//! cargo run --release --example faulty_network [n] [seed] [loss] [threads]
 //! ```
+//!
+//! `threads > 1` runs both protocols on the sharded parallel executor;
+//! the replay digests are bit-identical to the sequential run — try it.
 
 use adhoc_net::prelude::*;
 use rand::rngs::StdRng;
@@ -24,10 +27,20 @@ fn main() {
         .and_then(|a| a.parse().ok())
         .unwrap_or(0.10_f64)
         .clamp(0.0, 1.0);
+    let threads: usize = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or_else(adhoc_net::runtime::shard_threads_from_env)
+        .max(1);
 
     println!(
-        "== ΘALG + (T,γ)-balancing over links with {:.0}% loss ==\n",
-        loss * 100.0
+        "== ΘALG + (T,γ)-balancing over links with {:.0}% loss ({}) ==\n",
+        loss * 100.0,
+        if threads > 1 {
+            format!("sharded, {threads} threads")
+        } else {
+            "sequential".to_string()
+        }
     );
 
     let mut rng = StdRng::seed_from_u64(seed);
@@ -38,13 +51,14 @@ fn main() {
 
     // -- Topology control under loss ------------------------------------
     let direct = alg.build(&points);
-    let run = run_theta_protocol(
+    let run = run_theta_protocol_sharded(
         &points,
         alg.sectors(),
         range,
         ThetaTiming::default(),
         faults,
         seed,
+        threads,
     );
     let fidelity = edge_fidelity(&direct.spatial, &run.graph);
     println!("ΘALG protocol over {n} nodes:");
@@ -85,7 +99,8 @@ fn main() {
             cfg.with_reliability(ReliableConfig::default()),
         ),
     ] {
-        let routed = run_gossip_balancing(&run.graph, &dests, cfg, &workload, faults, seed);
+        let routed =
+            run_gossip_balancing_sharded(&run.graph, &dests, cfg, &workload, faults, seed, threads);
         println!("(T,γ)-balancing with height gossip, {steps} steps, {mode}:");
         println!("  packets injected    {:>8}", routed.injected);
         println!(

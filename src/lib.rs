@@ -92,8 +92,9 @@ pub mod prelude {
         HoneycombRouter, InterferenceRouter, StaleBalancingRouter, TracedRouter,
     };
     pub use adhoc_runtime::{
-        edge_fidelity, run_gossip_balancing, run_theta_protocol, uniform_workload, DelayDist,
-        FaultConfig, GossipConfig, ReliableConfig, Runtime, ThetaTiming,
+        edge_fidelity, run_gossip_balancing, run_gossip_balancing_sharded, run_theta_protocol,
+        run_theta_protocol_sharded, uniform_workload, DelayDist, FaultConfig, GossipConfig,
+        ReliableConfig, Runtime, ThetaTiming,
     };
     pub use adhoc_sim::{build_schedule, run_balancing_on_schedule, ScenarioConfig, Workload};
     pub use rand::SeedableRng;

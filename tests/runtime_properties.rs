@@ -57,6 +57,60 @@ proptest! {
         prop_assert!(ga.conserved());
     }
 
+    /// The sharded executor is a drop-in replacement: for random
+    /// geometry, fault mix, and thread counts, sequential and sharded
+    /// runs produce identical digests, stats, and protocol outcomes for
+    /// both ΘALG and the gossip balancer.
+    #[test]
+    fn sharded_execution_is_digest_identical(
+        raw in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 10..30),
+        drop_prob in 0.0f64..0.3,
+        duplicate_prob in 0.0f64..0.2,
+        threads in 2usize..9,
+        seed in 0u64..1_000_000
+    ) {
+        let points = dedup_points(&raw);
+        let range = default_max_range(points.len());
+        let sectors = SectorPartition::with_max_angle(std::f64::consts::FRAC_PI_3);
+        let faults = FaultConfig {
+            drop_prob,
+            duplicate_prob,
+            delay: DelayDist::Uniform { min: 1, max: 6 },
+        };
+
+        let seq = run_theta_protocol(&points, sectors, range, ThetaTiming::default(), faults, seed);
+        let par = run_theta_protocol_sharded(
+            &points, sectors, range, ThetaTiming::default(), faults, seed, threads,
+        );
+        prop_assert_eq!(seq.digest, par.digest, "theta digest diverged at {} threads", threads);
+        prop_assert_eq!(&seq.stats, &par.stats);
+        prop_assert_eq!(&seq.graph.graph, &par.graph.graph);
+        prop_assert_eq!(seq.finished_at, par.finished_at);
+        prop_assert_eq!(seq.edge_awareness, par.edge_awareness);
+
+        let dests = [0u32];
+        let wl = uniform_workload(points.len(), &dests, 40, 1, seed ^ 1);
+        let base = GossipConfig::new(
+            BalancingConfig { threshold: 0.5, gamma: 0.1, capacity: 20 },
+            60,
+        );
+        for cfg in [base, base.with_reliability(ReliableConfig::default())] {
+            let gs = run_gossip_balancing(&seq.graph, &dests, cfg, &wl, faults, seed);
+            let gp = run_gossip_balancing_sharded(&seq.graph, &dests, cfg, &wl, faults, seed, threads);
+            prop_assert_eq!(
+                gs.digest, gp.digest,
+                "gossip digest diverged (reliable={}, threads={})",
+                cfg.reliability.is_some(), threads
+            );
+            prop_assert_eq!(&gs.stats, &gp.stats);
+            prop_assert_eq!(gs.absorbed, gp.absorbed);
+            prop_assert_eq!(gs.buffered, gp.buffered);
+            prop_assert_eq!(gs.in_flight, gp.in_flight);
+            prop_assert_eq!(gs.gave_up, gp.gave_up);
+            prop_assert!(gp.conserved());
+        }
+    }
+
     /// Whenever loss stays within the retransmit budget (16 tries per
     /// message at the default timing), the protocol's `𝒩` equals the
     /// direct `ThetaAlg::build` graph *exactly* — the paper's 3-round

@@ -156,6 +156,32 @@ where
     (a(), b())
 }
 
+/// A scope for spawning worker tasks, mirroring `rayon::scope`. Unlike
+/// the iterator adapters above, this primitive is backed by **real OS
+/// threads** (`std::thread::scope`): the sharded runtime executor needs
+/// genuinely concurrent workers that block on command channels, which a
+/// sequential shim cannot provide without deadlocking.
+pub struct Scope<'scope, 'env: 'scope>(&'scope std::thread::Scope<'scope, 'env>);
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn one task; it may borrow from the environment (`'scope`) and
+    /// runs to completion before `scope` returns.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.0.spawn(f);
+    }
+}
+
+/// Run `f` with a [`Scope`]; returns once every spawned task finished.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| f(&Scope(s)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
@@ -182,5 +208,28 @@ mod tests {
     fn join_runs_both() {
         let (a, b) = super::join(|| 2 + 2, || "ok");
         assert_eq!((a, b), (4, "ok"));
+    }
+
+    #[test]
+    fn scope_runs_spawned_tasks_on_real_threads() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let sum = AtomicU32::new(0);
+        let main_thread = std::thread::current().id();
+        let mut saw_other_thread = false;
+        super::scope(|s| {
+            let saw = &mut saw_other_thread;
+            let sum = &sum;
+            s.spawn(move || {
+                *saw = std::thread::current().id() != main_thread;
+                sum.fetch_add(1, Ordering::SeqCst);
+            });
+            for _ in 0..3 {
+                s.spawn(|| {
+                    sum.fetch_add(10, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(sum.load(Ordering::SeqCst), 31);
+        assert!(saw_other_thread, "spawn must use a worker thread");
     }
 }
