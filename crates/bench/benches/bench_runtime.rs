@@ -6,8 +6,8 @@ use adhoc_bench::uniform_points;
 use adhoc_core::ThetaAlg;
 use adhoc_routing::BalancingConfig;
 use adhoc_runtime::{
-    run_gossip_balancing, run_theta_protocol, uniform_workload, FaultConfig, GossipConfig,
-    ReliableConfig, ThetaTiming,
+    run_gossip_balancing, run_theta_protocol, run_theta_protocol_sharded, uniform_workload,
+    FaultConfig, GossipConfig, ReliableConfig, ThetaTiming,
 };
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::f64::consts::FRAC_PI_3;
@@ -87,6 +87,52 @@ fn bench(c: &mut Criterion) {
                         FaultConfig::lossy(loss),
                         7,
                     ))
+                });
+            },
+        );
+    }
+    g.finish();
+
+    // Sharded executor scaling: the same ΘALG run at a size where the
+    // event loop dominates, sequential vs run_sharded at increasing
+    // worker counts. Digest parity is asserted inside the harness, so
+    // this doubles as a stress test. (On a single-core host the sharded
+    // arms measure coordination overhead, not speedup.)
+    let mut g = c.benchmark_group("runtime_sharded");
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.sample_size(10);
+
+    let n = 1000;
+    let points = uniform_points(n, 23);
+    let range = adhoc_geom::default_max_range(n);
+    let alg = ThetaAlg::new(FRAC_PI_3, range);
+    let faults = FaultConfig::lossy(0.1);
+    let baseline = run_theta_protocol(
+        &points,
+        alg.sectors(),
+        range,
+        ThetaTiming::default(),
+        faults,
+        7,
+    );
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("theta_protocol_n1000", format!("threads={threads}")),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let run = run_theta_protocol_sharded(
+                        &points,
+                        alg.sectors(),
+                        range,
+                        ThetaTiming::default(),
+                        faults,
+                        7,
+                        threads,
+                    );
+                    assert_eq!(run.digest, baseline.digest, "parity at {threads} threads");
+                    black_box(run)
                 });
             },
         );

@@ -1,0 +1,71 @@
+//! Sharded-executor scaling probe: wall-clock of one hardened ΘALG run
+//! at each worker-thread count, with digest parity asserted against the
+//! sequential run. Produces the numbers quoted in EXPERIMENTS.md (E20).
+//!
+//! ```text
+//! cargo run --release --example shard_scaling [n] [seed] [loss]
+//! ```
+//!
+//! On a single-core host every sharded arm measures coordination
+//! overhead, not speedup — the digest-parity assertion is still
+//! meaningful there, the timings are not.
+
+use adhoc_net::prelude::*;
+use rand::rngs::StdRng;
+use std::time::Instant;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(1000);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(7);
+    let loss: f64 = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(0.10_f64)
+        .clamp(0.0, 1.0);
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let points = NodeDistribution::unit_square().sample(n, &mut rng).unwrap();
+    let range = default_max_range(n);
+    let alg = ThetaAlg::new(std::f64::consts::FRAC_PI_3, range);
+    let faults = FaultConfig::lossy(loss);
+
+    println!(
+        "== ΘALG sharded-executor scaling: n={n}, {:.0}% loss ==",
+        loss * 100.0
+    );
+    println!(
+        "{:>8}  {:>10}  {:>8}  digest",
+        "threads", "wall [ms]", "speedup"
+    );
+
+    let mut baseline_ms = 0.0;
+    let mut baseline_digest = 0;
+    for threads in [1usize, 2, 4, 8] {
+        let t0 = Instant::now();
+        let run = run_theta_protocol_sharded(
+            &points,
+            alg.sectors(),
+            range,
+            ThetaTiming::default(),
+            faults,
+            seed,
+            threads,
+        );
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        if threads == 1 {
+            baseline_ms = ms;
+            baseline_digest = run.digest;
+        } else {
+            assert_eq!(
+                run.digest, baseline_digest,
+                "digest parity at {threads} threads"
+            );
+        }
+        println!(
+            "{threads:>8}  {ms:>10.1}  {:>7.2}x  {:#x}",
+            baseline_ms / ms,
+            run.digest
+        );
+    }
+}
