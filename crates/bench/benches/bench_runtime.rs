@@ -6,8 +6,8 @@ use adhoc_bench::uniform_points;
 use adhoc_core::ThetaAlg;
 use adhoc_routing::BalancingConfig;
 use adhoc_runtime::{
-    run_gossip_balancing, run_theta_protocol, run_theta_protocol_sharded, uniform_workload,
-    FaultConfig, GossipConfig, ReliableConfig, ThetaTiming,
+    run_gossip_balancing, run_theta_churn, run_theta_protocol, run_theta_protocol_sharded,
+    uniform_workload, ChurnPlan, FaultConfig, GossipConfig, ReliableConfig, ThetaTiming,
 };
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::f64::consts::FRAC_PI_3;
@@ -86,6 +86,32 @@ fn bench(c: &mut Criterion) {
                         &workload,
                         FaultConfig::lossy(loss),
                         7,
+                    ))
+                });
+            },
+        );
+    }
+    // The churn engine's overhead on the same geometry: a seeded mixed
+    // plan (joins, leaves, crashes, drift) through the ΘALG protocol,
+    // including every local re-convergence it triggers. Compare with the
+    // static theta_protocol arms above. Table rows: `report -- e21`.
+    let spares = n / 10;
+    let plan = ChurnPlan::random(n - spares, spares, 1.0, 2_000, 12, 29);
+    for loss in [0.0f64, 0.1] {
+        g.bench_with_input(
+            BenchmarkId::new("theta_churn", format!("loss={loss}")),
+            &loss,
+            |b, &loss| {
+                b.iter(|| {
+                    black_box(run_theta_churn(
+                        &points,
+                        alg.sectors(),
+                        range,
+                        ThetaTiming::default(),
+                        FaultConfig::lossy(loss),
+                        7,
+                        &plan,
+                        1,
                     ))
                 });
             },

@@ -23,6 +23,8 @@ use crate::node::{Actor, Ctx, Message};
 use crate::reliable::{ReliableActor, ReliableConfig};
 use crate::runtime::Runtime;
 use crate::stats::NetStats;
+use crate::ChurnPlan;
+use adhoc_geom::Point;
 use adhoc_proximity::SpatialGraph;
 use adhoc_routing::BalancingConfig;
 use rand::prelude::*;
@@ -143,6 +145,10 @@ pub struct GossipNode {
     cfg: GossipConfig,
     step: u64,
     seq: u32,
+    /// Whether the per-step tick is currently armed. Joiners receive no
+    /// `on_start`; their first `on_neighborhood_change` bootstraps the
+    /// tick instead, and this flag keeps that idempotent.
+    ticking: bool,
     /// Local ledger.
     counts: NodeCounts,
 }
@@ -296,6 +302,8 @@ impl GossipNode {
         self.step += 1;
         if self.step < self.cfg.steps {
             ctx.set_timer(self.cfg.step_len, TIMER_STEP);
+        } else {
+            self.ticking = false;
         }
     }
 }
@@ -306,6 +314,7 @@ impl Actor for GossipNode {
     fn on_start(&mut self, ctx: &mut Ctx<GossipMsg>) {
         if self.cfg.steps > 0 {
             ctx.set_timer(self.cfg.step_len, TIMER_STEP);
+            self.ticking = true;
         }
     }
 
@@ -356,10 +365,31 @@ impl Actor for GossipNode {
         debug_assert_eq!(timer, TIMER_STEP);
         self.run_step(ctx);
     }
+
+    fn on_neighborhood_change(&mut self, ctx: &mut Ctx<GossipMsg>, neighbors: &[u32], _pos: Point) {
+        // Routing follows the live radio topology: edges to departed or
+        // out-of-range peers vanish (gossip churn never *adds* edges — the
+        // topology graph is the input contract, churn only erodes it).
+        self.nbrs
+            .retain(|(w, _)| neighbors.binary_search(w).is_ok());
+        self.cached
+            .retain(|w, _| neighbors.binary_search(w).is_ok());
+        // `seen` is deliberately NOT pruned: a duplicated copy of an old
+        // packet can still be in flight when the edge erodes, and dropping
+        // the sender's dedup window would double-count it on arrival
+        // (received > sent breaks the conservation ledger). Windows stay
+        // O(1) per ever-neighbor, so state remains bounded by n.
+        // A joiner got no on_start; bootstrap its step tick here. Nodes
+        // that already ran out of steps stay stopped.
+        if !self.ticking && self.step < self.cfg.steps {
+            self.ticking = true;
+            ctx.set_timer(self.cfg.step_len, TIMER_STEP);
+        }
+    }
 }
 
 /// Ledger and counters of one gossip-balancing run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GossipRun {
     /// Packets admitted across all nodes.
     pub injected: u64,
@@ -477,6 +507,7 @@ fn build_nodes(
             cfg,
             step: 0,
             seq: 0,
+            ticking: false,
             counts: NodeCounts::default(),
         })
         .collect()
@@ -568,6 +599,37 @@ pub fn run_gossip_balancing_sharded(
     seed: u64,
     threads: usize,
 ) -> GossipRun {
+    run_gossip_balancing_churn(
+        topology,
+        dests,
+        cfg,
+        workload,
+        faults,
+        seed,
+        &ChurnPlan::default(),
+        threads,
+    )
+}
+
+/// [`run_gossip_balancing_sharded`] under a [`ChurnPlan`]: nodes join,
+/// crash, gracefully leave, or drift mid-run, and every node's routing
+/// edge set follows the live radio topology (churn only erodes the input
+/// graph, never adds edges). The conservation ledger stays exact: a dead
+/// node's buffered packets stay `buffered`, copies in flight to it become
+/// `link_lost`, and the reliable sublayer's custody toward vanished peers
+/// is abandoned rather than retried forever. Bit-identical at every
+/// thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn run_gossip_balancing_churn(
+    topology: &SpatialGraph,
+    dests: &[u32],
+    cfg: GossipConfig,
+    workload: &[(u64, u32, u32)],
+    faults: FaultConfig,
+    seed: u64,
+    plan: &ChurnPlan,
+    threads: usize,
+) -> GossipRun {
     cfg.validate();
     faults.validate();
     assert!(!dests.is_empty(), "need at least one destination");
@@ -580,6 +642,9 @@ pub fn run_gossip_balancing_sharded(
     match cfg.reliability {
         None => {
             let mut rt = Runtime::new(nodes, &topology.points, range, faults, seed);
+            if !plan.is_empty() {
+                rt.set_churn_plan(plan);
+            }
             rt.start();
             if threads > 1 {
                 rt.run_sharded(threads);
@@ -603,6 +668,9 @@ pub fn run_gossip_balancing_sharded(
                 })
                 .collect();
             let mut rt = Runtime::new(wrapped, &topology.points, range, faults, seed);
+            if !plan.is_empty() {
+                rt.set_churn_plan(plan);
+            }
             rt.start();
             if threads > 1 {
                 rt.run_sharded(threads);
@@ -934,6 +1002,81 @@ mod tests {
         assert_eq!(a.stats, b.stats);
         assert!(a.conserved(), "{a:?}");
         assert_ne!(go(6).digest, a.digest);
+    }
+
+    #[test]
+    fn churn_conserves_the_packet_ledger_in_both_reliability_modes() {
+        use crate::ChurnPlan;
+        // A mid-chain crash plus a graceful edge leave while traffic is
+        // flowing: the ledger identity must survive dead buffers (stay
+        // `buffered`), copies in flight to the dead node (`link_lost`),
+        // and — in reliable mode — custody abandoned toward vanished
+        // peers.
+        let topo = chain(6);
+        let wl = uniform_workload(6, &[5], 200, 1, 7);
+        let plan =
+            ChurnPlan::new()
+                .crash(400, 2)
+                .leave(800, 0)
+                .drift(1000, 1, Point::new(0.1, 0.05));
+        let faults = FaultConfig {
+            drop_prob: 0.15,
+            duplicate_prob: 0.05,
+            delay: DelayDist::Uniform { min: 1, max: 4 },
+        };
+        for rel in [None, Some(ReliableConfig::default())] {
+            let mut c = cfg(250);
+            c.reliability = rel;
+            let run = run_gossip_balancing_churn(&topo, &[5], c, &wl, faults, 9, &plan, 1);
+            assert!(run.conserved(), "reliability={rel:?}: {run:?}");
+            assert_eq!(run.stats.crashes, 1);
+            assert_eq!(run.stats.leaves, 1);
+            assert_eq!(run.stats.drifts, 1);
+            assert!(run.stats.reconvergences > 0);
+            assert!(run.absorbed > 0, "traffic still flows around the hole");
+        }
+    }
+
+    #[test]
+    fn churn_runs_are_digest_identical_across_thread_counts() {
+        use crate::ChurnPlan;
+        let topo = chain(6);
+        let wl = uniform_workload(6, &[5], 150, 1, 3);
+        let plan = ChurnPlan::new()
+            .crash(300, 3)
+            .drift(600, 1, Point::new(0.12, 0.02));
+        let faults = FaultConfig {
+            drop_prob: 0.1,
+            duplicate_prob: 0.05,
+            delay: DelayDist::Uniform { min: 1, max: 4 },
+        };
+        let c = cfg(200).with_reliability(ReliableConfig::default());
+        let go =
+            |threads| run_gossip_balancing_churn(&topo, &[5], c, &wl, faults, 5, &plan, threads);
+        let seq = go(1);
+        assert!(seq.conserved(), "{seq:?}");
+        for threads in [2, 4] {
+            assert_eq!(go(threads), seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_churn_plan_is_byte_identical_to_the_plain_runner() {
+        let topo = chain(5);
+        let wl = uniform_workload(5, &[4], 100, 1, 2);
+        let faults = FaultConfig::lossy(0.1);
+        let plain = run_gossip_balancing(&topo, &[4], cfg(100), &wl, faults, 4);
+        let churn = run_gossip_balancing_churn(
+            &topo,
+            &[4],
+            cfg(100),
+            &wl,
+            faults,
+            4,
+            &crate::ChurnPlan::default(),
+            1,
+        );
+        assert_eq!(plain, churn);
     }
 
     #[test]

@@ -56,6 +56,7 @@
 //! assert!(run.stats.sent > 0);
 //! ```
 
+pub mod churn;
 pub mod event;
 pub mod fault;
 pub mod gossip;
@@ -66,11 +67,12 @@ pub mod shard;
 pub mod stats;
 pub mod theta;
 
+pub use churn::{ChurnEntry, ChurnKind, ChurnPlan, MemberState};
 pub use event::{Event, EventKey, EventKind, EventQueue};
 pub use fault::{DelayDist, FaultConfig, TransmitOutcome};
 pub use gossip::{
-    run_gossip_balancing, run_gossip_balancing_sharded, uniform_workload, GossipConfig, GossipMsg,
-    GossipNode, GossipRun,
+    run_gossip_balancing, run_gossip_balancing_churn, run_gossip_balancing_sharded,
+    uniform_workload, GossipConfig, GossipMsg, GossipNode, GossipRun,
 };
 pub use node::{Actor, Ctx, Message};
 pub use reliable::{
@@ -79,6 +81,6 @@ pub use reliable::{
 pub use runtime::{shard_threads_from_env, Runtime};
 pub use stats::{KindCounts, NetStats, Transcript};
 pub use theta::{
-    edge_fidelity, run_theta_protocol, run_theta_protocol_sharded, ThetaMsg, ThetaNode, ThetaRun,
-    ThetaTiming,
+    edge_fidelity, run_theta_churn, run_theta_protocol, run_theta_protocol_sharded, ThetaChurnRun,
+    ThetaMsg, ThetaNode, ThetaRun, ThetaTiming,
 };

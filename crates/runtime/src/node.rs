@@ -7,6 +7,7 @@
 //! state, so whatever topology or routing behaviour emerges is provably
 //! the product of local computation and received messages.
 
+use adhoc_geom::Point;
 use std::fmt::Debug;
 
 /// A message type usable by the runtime. `kind` labels the message for
@@ -36,6 +37,20 @@ pub trait Actor {
     /// A previously armed timer fires. `timer` is the id passed to
     /// [`Ctx::set_timer`].
     fn on_timer(&mut self, _ctx: &mut Ctx<Self::Msg>, _timer: u32) {}
+
+    /// This node's one-hop world changed at a churn boundary: a neighbor
+    /// joined, left, or drifted, or the node itself joined, drifted, or
+    /// gracefully left. `neighbors` is the node's new radio-neighbor row
+    /// (sorted; empty for a node that just left) and `pos` its current
+    /// position. Joining nodes get *no* `on_start` — this callback is
+    /// their bootstrap. Default: ignore churn.
+    fn on_neighborhood_change(
+        &mut self,
+        _ctx: &mut Ctx<Self::Msg>,
+        _neighbors: &[u32],
+        _pos: Point,
+    ) {
+    }
 }
 
 /// Effect buffer handed to actor callbacks: the runtime drains it after

@@ -319,6 +319,30 @@ impl<M: Message> Transport<M> {
         }
     }
 
+    /// Drop all link state toward peers *not* in `peers` (sorted): a
+    /// departed node will never ack, so its in-flight and backlogged
+    /// custody is abandoned (counted in [`LinkCounters::gave_up`]) instead
+    /// of burning the whole retry budget against a dead link. Already
+    /// armed retransmit timers stay armed — they are uncancellable — and
+    /// fire as no-ops when no flights remain.
+    pub fn retain_peers(&mut self, peers: &[u32]) {
+        debug_assert!(peers.is_sorted());
+        self.send.retain(|peer, ss| {
+            if peers.binary_search(peer).is_ok() {
+                return true;
+            }
+            self.counters.gave_up += (ss.flights.len() + ss.backlog.len()) as u64;
+            false
+        });
+        // Receive-side state is deliberately kept: a retransmitted copy of
+        // an already-delivered segment can still be in flight when the
+        // peer vanishes, and dropping the recv window would hand it to the
+        // actor a second time (exactly-once broken). Eroded routing never
+        // re-adds the link, so stale windows stay inert, O(1) each.
+        self.pending_retx
+            .retain(|(peer, _)| peers.binary_search(peer).is_ok());
+    }
+
     /// Emit everything owed to the wire: retransmissions, fresh data up
     /// to the window, standalone acks for peers with no reverse data, and
     /// the retransmit timer for the earliest outstanding deadline.
@@ -531,6 +555,20 @@ where
         }
         self.transport.flush(ctx);
     }
+
+    fn on_neighborhood_change(
+        &mut self,
+        ctx: &mut Ctx<Self::Msg>,
+        neighbors: &[u32],
+        pos: adhoc_geom::Point,
+    ) {
+        // Prune link state toward vanished peers *before* the inner
+        // protocol reacts, so custody abandoned by churn is settled by the
+        // time the application inspects its transport.
+        self.transport.retain_peers(neighbors);
+        self.deliver(ctx, |a, ic| a.on_neighborhood_change(ic, neighbors, pos));
+        self.transport.flush(ctx);
+    }
 }
 
 #[cfg(test)]
@@ -538,6 +576,7 @@ mod tests {
     use super::*;
     use crate::fault::{DelayDist, FaultConfig};
     use crate::runtime::Runtime;
+    use crate::{ChurnPlan, MemberState};
     use adhoc_geom::Point;
 
     /// A minimal source→sink protocol: node 0 emits `total` numbered
@@ -694,6 +733,74 @@ mod tests {
         assert!(got <= 120);
         // The link kept making progress past every hole.
         assert!(got > 50, "only {got} of 120 delivered");
+    }
+
+    #[test]
+    fn peer_crash_mid_window_drains_custody_within_retry_budget() {
+        // Node 1 crash-leaves while node 0 still has a full window of
+        // unacked flights plus backlog. The neighborhood-change callback
+        // must abandon that custody immediately (retain_peers), later
+        // sends to the vanished peer must die as non-neighbor sends, and
+        // the whole schedule must quiesce — no retransmit loop may keep
+        // chasing a dead link.
+        let cfg = ReliableConfig {
+            window: 4,
+            rto: 4,
+            rto_max: 16,
+            max_retries: 3,
+        };
+        // Minimum delay 2: any copy transmitted in the two ticks before
+        // the crash is still airborne when node 1 dies, so `link_lost`
+        // is exercised structurally rather than by seed luck.
+        let faults = FaultConfig {
+            drop_prob: 0.15,
+            duplicate_prob: 0.0,
+            delay: DelayDist::Uniform { min: 2, max: 5 },
+        };
+        let mut rt = pump_pair(40, cfg, faults, 13);
+        rt.set_churn_plan(&ChurnPlan::new().crash(12, 1));
+        rt.start();
+        assert!(
+            rt.run_with_limit(1_000_000),
+            "dead-peer retries must exhaust, not spin"
+        );
+        assert_eq!(rt.member_state(1), MemberState::Dead);
+        let src = rt.node(0);
+        assert_eq!(src.pending_count(), 0, "custody ledger must drain");
+        assert!(
+            src.counters().gave_up > 0,
+            "flights toward the dead peer must be abandoned"
+        );
+        // Only messages emitted before the crash ever reached node 1, and
+        // each at most once.
+        let mut got = rt.node(1).inner().got.clone();
+        got.sort_unstable();
+        got.dedup();
+        assert_eq!(got.len(), rt.node(1).inner().got.len());
+        assert!(got.len() < 40, "the crash must cut delivery short");
+        // Copies in flight at the crash were charged to link_lost, not
+        // delivered to the dead actor; post-crash sends died at the
+        // non-neighbor check.
+        assert!(rt.stats().link_lost > 0);
+        assert!(rt.stats().non_neighbor_sends > 0);
+        assert_eq!(rt.stats().crashes, 1);
+    }
+
+    #[test]
+    fn retain_peers_counts_abandoned_custody() {
+        let mut t: Transport<Num> = Transport::new(ReliableConfig::default());
+        t.queue(1, Num(0));
+        t.queue(1, Num(1));
+        t.queue(2, Num(2));
+        let mut ctx = Ctx::new(0, 0);
+        t.flush(&mut ctx); // backlog becomes flights
+        ctx.sends.clear();
+        ctx.timers.clear();
+        t.queue(1, Num(3)); // backlogged, never transmitted
+        assert_eq!(t.pending_count(), 4);
+        t.retain_peers(&[2]);
+        assert_eq!(t.pending_count(), 1, "peer 2's flight survives");
+        assert_eq!(t.counters().gave_up, 3, "peer 1: 2 flights + 1 backlog");
     }
 
     #[test]

@@ -20,14 +20,16 @@
 //!    sub-digests and fold into the global digest in node-id order at
 //!    each lookahead-window boundary ([`crate::stats::WindowNotes`]).
 
+use crate::churn::{plan_churn, rebuild_neighbors, ChurnDelta, ChurnKind, ChurnSchedule};
 use crate::event::{EventKey, EventKind, EventQueue};
 use crate::fault::{FaultConfig, TransmitOutcome};
 use crate::node::{Actor, Ctx, Message};
 use crate::stats::{NetStats, Transcript, WindowNotes};
+use crate::{ChurnPlan, MemberState};
 use adhoc_geom::{GridIndex, Point};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// SplitMix64 finalizer: a cheap, well-mixed 64-bit permutation used to
 /// derive independent per-link seeds from `(run seed, from, to)`.
@@ -94,6 +96,14 @@ pub struct Runtime<A: Actor> {
     pub(crate) now: u64,
     /// Index of the lookahead window currently being processed.
     cur_window: u64,
+    /// Membership state per node (all `Alive` without a churn plan).
+    pub(crate) membership: Vec<MemberState>,
+    /// Pending churn batches, sorted by (lookahead-aligned) time.
+    pub(crate) churn: ChurnSchedule,
+    /// Time of the last scheduled perturbation (0 without churn).
+    last_churn: u64,
+    /// Set by [`Self::start`]; churn plans must be installed before it.
+    started: bool,
     pub(crate) stats: NetStats,
     pub(crate) trace: Transcript,
     /// Per-node sub-digests for the current window.
@@ -145,6 +155,10 @@ impl<A: Actor> Runtime<A> {
             arm_seq: vec![0; n],
             now: 0,
             cur_window: 0,
+            membership: vec![MemberState::Alive; n],
+            churn: ChurnSchedule::default(),
+            last_churn: 0,
+            started: false,
             stats: NetStats::default(),
             trace: Transcript::new(false),
             notes: WindowNotes::new(n, false),
@@ -190,6 +204,43 @@ impl<A: Actor> Runtime<A> {
         &self.neighbors[id as usize]
     }
 
+    /// Current membership state of `id`.
+    pub fn member_state(&self, id: u32) -> MemberState {
+        self.membership[id as usize]
+    }
+
+    /// Current node positions (reflecting any drifts applied so far).
+    pub fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+
+    /// Virtual time of the last scheduled perturbation; 0 without churn.
+    pub fn last_churn_time(&self) -> u64 {
+        self.last_churn
+    }
+
+    /// Install a churn/mobility plan. Must be called before
+    /// [`Self::start`]; entry times snap up to lookahead-window
+    /// boundaries so perturbations land exactly at sharded epoch barriers
+    /// (digest stability across executors). Panics on an inconsistent
+    /// plan — see [`ChurnPlan`].
+    pub fn set_churn_plan(&mut self, plan: &ChurnPlan) {
+        assert!(
+            !self.started,
+            "set_churn_plan must be called before start()"
+        );
+        let planned = plan_churn(plan, self.nodes.len(), self.lookahead());
+        // Joiners sit at their spawn position from t = 0: the spatial
+        // shard partition (and hence worker assignment) is fixed up front.
+        for &(node, pos) in &planned.spawn_positions {
+            self.positions[node as usize] = pos;
+        }
+        self.membership = planned.membership;
+        self.last_churn = planned.schedule.last_time();
+        self.churn = planned.schedule;
+        self.neighbors = rebuild_neighbors(&self.positions, &self.membership, self.range);
+    }
+
     /// The conservative lookahead: no transmission can arrive sooner than
     /// this many ticks after it was sent, so shards advanced in windows
     /// of this width only exchange messages at window boundaries.
@@ -208,7 +259,13 @@ impl<A: Actor> Runtime<A> {
     /// fold any records it produced (drops of time-0 sends) as a
     /// pseudo-window of their own.
     pub fn start(&mut self) {
+        self.started = true;
         for id in 0..self.nodes.len() as u32 {
+            // Pending joiners get no `on_start`; their bootstrap is the
+            // `on_neighborhood_change` at their join boundary.
+            if self.membership[id as usize] != MemberState::Alive {
+                continue;
+            }
             let mut ctx = std::mem::take(&mut self.scratch);
             ctx.reset(id, self.now);
             self.nodes[id as usize].on_start(&mut ctx);
@@ -228,11 +285,34 @@ impl<A: Actor> Runtime<A> {
     /// only matches another identically-capped run.
     pub fn run_with_limit(&mut self, max_events: u64) -> bool {
         let lookahead = self.lookahead();
-        for _ in 0..max_events {
-            let Some(t) = self.queue.peek_time() else {
+        let mut remaining = max_events;
+        loop {
+            let next_event = self.queue.peek_time();
+            // A churn batch due at `tc` applies before any event at `tc`:
+            // perturbation times are lookahead-aligned, so this is
+            // exactly the sharded executor's epoch-barrier cut.
+            if let Some(tc) = self.churn.peek_time() {
+                if next_event.is_none_or(|t| tc <= t) {
+                    // Every earlier event is processed; close its window.
+                    self.fold_window();
+                    self.cur_window = tc / lookahead;
+                    debug_assert!(tc >= self.now, "churn time must be monotone");
+                    // `flush` in the re-convergence callbacks stamps
+                    // records with `self.now`.
+                    self.now = tc;
+                    let delta = self.apply_churn_batch();
+                    self.apply_churn_local(&delta);
+                    continue;
+                }
+            }
+            let Some(t) = next_event else {
                 self.fold_window();
                 return true;
             };
+            if remaining == 0 {
+                break;
+            }
+            remaining -= 1;
             let window = t / lookahead;
             if window > self.cur_window {
                 self.fold_window();
@@ -242,6 +322,26 @@ impl<A: Actor> Runtime<A> {
             debug_assert!(ev.time >= self.now, "time must be monotone");
             self.now = ev.time;
             let node = ev.key.node;
+            // Events addressed to a crashed node are accounted, not run.
+            if self.membership[node as usize] == MemberState::Dead {
+                match ev.kind {
+                    EventKind::Deliver { msg } => {
+                        self.stats.link_lost += 1;
+                        self.notes.note(
+                            node,
+                            format_args!("K t={} {}->{} {:?}", self.now, ev.key.src, node, msg),
+                        );
+                    }
+                    EventKind::Timer { timer } => {
+                        self.stats.timers_abandoned += 1;
+                        self.notes.note(
+                            node,
+                            format_args!("A t={} n={} id={}", self.now, node, timer),
+                        );
+                    }
+                }
+                continue;
+            }
             match ev.kind {
                 EventKind::Deliver { msg } => {
                     let from = ev.key.src;
@@ -272,7 +372,111 @@ impl<A: Actor> Runtime<A> {
             }
         }
         self.fold_window();
-        self.queue.is_empty()
+        self.queue.is_empty() && self.churn.peek_time().is_none()
+    }
+
+    /// Apply the next due churn batch to the coordinating runtime's
+    /// membership, positions, and neighbor rows, and compute the
+    /// [`ChurnDelta`] every executor must apply: changed rows plus the
+    /// live nodes whose one-hop world changed (new/lost neighbor rows,
+    /// neighbors that drifted, or being a perturbation subject).
+    pub(crate) fn apply_churn_batch(&mut self) -> ChurnDelta {
+        let (time, entries) = self.churn.take_batch();
+        let mut drifted: Vec<u32> = Vec::new();
+        for e in &entries {
+            match e.kind {
+                ChurnKind::Join(pos) => {
+                    self.positions[e.node as usize] = pos;
+                    self.membership[e.node as usize] = MemberState::Alive;
+                    self.stats.joins += 1;
+                }
+                ChurnKind::Leave => {
+                    self.membership[e.node as usize] = MemberState::Draining;
+                    self.stats.leaves += 1;
+                }
+                ChurnKind::Crash => {
+                    self.membership[e.node as usize] = MemberState::Dead;
+                    self.stats.crashes += 1;
+                }
+                ChurnKind::Drift(pos) => {
+                    self.positions[e.node as usize] = pos;
+                    self.stats.drifts += 1;
+                    drifted.push(e.node);
+                }
+            }
+        }
+        drifted.sort_unstable();
+        let new_rows = rebuild_neighbors(&self.positions, &self.membership, self.range);
+        let mut rows = Vec::new();
+        let mut affected = BTreeSet::new();
+        for (u, new_row) in new_rows.iter().enumerate() {
+            if *new_row != self.neighbors[u] {
+                rows.push((u as u32, new_row.clone()));
+                affected.insert(u as u32);
+            } else if !drifted.is_empty()
+                && self.membership[u] == MemberState::Alive
+                && new_row.iter().any(|v| drifted.binary_search(v).is_ok())
+            {
+                // Row unchanged, but a neighbor moved within range: the
+                // node's geometric one-hop world still changed.
+                affected.insert(u as u32);
+            }
+        }
+        for e in &entries {
+            // Crash subjects are dead; everyone else re-converges (a
+            // graceful leaver gets one final callback with an empty row).
+            if !matches!(e.kind, ChurnKind::Crash) {
+                affected.insert(e.node);
+            }
+        }
+        affected.retain(|&u| self.membership[u as usize].processes_events());
+        self.neighbors = new_rows;
+        self.stats.reconvergences += affected.len() as u64;
+        let affected = affected
+            .into_iter()
+            .map(|u| (u, self.positions[u as usize]))
+            .collect();
+        ChurnDelta {
+            time,
+            entries,
+            rows,
+            affected,
+        }
+    }
+
+    /// Apply one churn batch's local effects: note the perturbation
+    /// records (plan order) and run the re-convergence callbacks of the
+    /// affected nodes this executor owns (all of them, sequentially).
+    /// Requires `self.now == delta.time` and `self.neighbors` /
+    /// `self.membership` already updated by [`Self::apply_churn_batch`].
+    pub(crate) fn apply_churn_local(&mut self, delta: &ChurnDelta) {
+        for e in &delta.entries {
+            match e.kind {
+                ChurnKind::Join(p) => self.notes.note(
+                    e.node,
+                    format_args!("J t={} n={} p=({:?},{:?})", delta.time, e.node, p.x, p.y),
+                ),
+                ChurnKind::Leave => self
+                    .notes
+                    .note(e.node, format_args!("G t={} n={}", delta.time, e.node)),
+                ChurnKind::Crash => self
+                    .notes
+                    .note(e.node, format_args!("C t={} n={}", delta.time, e.node)),
+                ChurnKind::Drift(p) => self.notes.note(
+                    e.node,
+                    format_args!("M t={} n={} p=({:?},{:?})", delta.time, e.node, p.x, p.y),
+                ),
+            }
+        }
+        for &(node, pos) in &delta.affected {
+            let mut ctx = std::mem::take(&mut self.scratch);
+            ctx.reset(node, delta.time);
+            let row = std::mem::take(&mut self.neighbors[node as usize]);
+            self.nodes[node as usize].on_neighborhood_change(&mut ctx, &row, pos);
+            self.neighbors[node as usize] = row;
+            self.flush(&mut ctx);
+            self.scratch = ctx;
+        }
     }
 
     /// Run to quiescence on the sequential executor (see
@@ -583,5 +787,129 @@ mod tests {
         rt.run();
         assert_eq!(rt.stats().non_neighbor_sends, 0);
         assert_eq!(rt.stats().delivered, 1);
+    }
+
+    /// Node 0 streams a unicast per tick at node 1 and logs every
+    /// reception time; exercises the in-flight-to-a-crashed-node path.
+    #[derive(Debug, Clone)]
+    struct Pinger {
+        id: u32,
+        sent: u32,
+        received: Vec<u64>,
+    }
+
+    impl Actor for Pinger {
+        type Msg = Token;
+
+        fn on_start(&mut self, ctx: &mut Ctx<Token>) {
+            if self.id == 0 {
+                ctx.set_timer(1, 0);
+            }
+        }
+
+        fn on_message(&mut self, ctx: &mut Ctx<Token>, _from: u32, _msg: Token) {
+            self.received.push(ctx.now());
+        }
+
+        fn on_timer(&mut self, ctx: &mut Ctx<Token>, _timer: u32) {
+            if self.sent < 20 {
+                self.sent += 1;
+                ctx.send(1, Token);
+                ctx.set_timer(1, 0);
+            }
+        }
+    }
+
+    fn pingers(n: usize) -> Vec<Pinger> {
+        (0..n as u32)
+            .map(|id| Pinger {
+                id,
+                sent: 0,
+                received: Vec::new(),
+            })
+            .collect()
+    }
+
+    /// Regression (pre-churn the runtime had no peer-death path at all):
+    /// a packet in flight to a node that crash-leaves must be accounted
+    /// as `link_lost` — never delivered to the dead actor — and the run
+    /// must still drain to quiescence.
+    #[test]
+    fn in_flight_packet_to_crashed_node_is_link_lost_not_delivered() {
+        let mut rt = Runtime::new(pingers(2), &line(2), 1.5, FaultConfig::ideal(), 11);
+        rt.set_churn_plan(&ChurnPlan::new().crash(10, 1));
+        rt.start();
+        assert!(rt.run_with_limit(u64::MAX), "run must go quiescent");
+        // The packet sent at t=9 was in flight at the crash boundary
+        // (arrival t=10): lost, not delivered.
+        assert_eq!(rt.stats().link_lost, 1);
+        assert_eq!(rt.member_state(1), MemberState::Dead);
+        // The dead actor saw nothing at or after the crash time.
+        assert!(rt.node(1).received.iter().all(|&t| t < 10));
+        assert_eq!(rt.stats().delivered, rt.node(1).received.len() as u64);
+        // Post-crash sends fail the locality check (node 1 left every
+        // neighbor row) instead of entering the link layer.
+        assert!(rt.stats().non_neighbor_sends > 0);
+        assert_eq!(rt.stats().crashes, 1);
+        // Node 0 was notified exactly once (its row changed).
+        assert_eq!(rt.stats().reconvergences, 1);
+    }
+
+    /// A graceful leaver keeps processing what is already queued for it.
+    #[test]
+    fn graceful_leaver_drains_in_flight_packets() {
+        let mut rt = Runtime::new(pingers(2), &line(2), 1.5, FaultConfig::ideal(), 11);
+        rt.set_churn_plan(&ChurnPlan::new().leave(10, 1));
+        rt.start();
+        assert!(rt.run_with_limit(u64::MAX));
+        // The in-flight packet (sent t=9, due t=10) is still delivered.
+        assert_eq!(rt.stats().link_lost, 0);
+        assert_eq!(rt.member_state(1), MemberState::Draining);
+        assert!(rt.node(1).received.contains(&10));
+        assert!(rt.node(1).received.iter().all(|&t| t <= 10));
+    }
+
+    /// Same seed + same churn plan ⇒ identical digests; and a plan with
+    /// churn diverges from the no-churn digest.
+    #[test]
+    fn churn_runs_replay_deterministically() {
+        let faults = FaultConfig {
+            drop_prob: 0.2,
+            duplicate_prob: 0.1,
+            delay: DelayDist::Uniform { min: 1, max: 4 },
+        };
+        let plan = ChurnPlan::new()
+            .drift(6, 2, Point::new(0.5, 0.9))
+            .crash(12, 4)
+            .drift(12, 0, Point::new(1.2, 0.3));
+        let run = |with_churn: bool| {
+            let mut rt = Runtime::new(pingers(6), &line(6), 1.5, faults, 21);
+            if with_churn {
+                rt.set_churn_plan(&plan);
+            }
+            rt.start();
+            rt.run();
+            rt.transcript().digest()
+        };
+        assert_eq!(run(true), run(true));
+        assert_ne!(run(true), run(false));
+    }
+
+    /// A pending joiner is invisible (no on_start, absent from rows)
+    /// until its join boundary, after which it participates normally.
+    #[test]
+    fn joiner_is_invisible_until_join_time() {
+        let mut rt = Runtime::new(pingers(3), &line(3), 1.5, FaultConfig::ideal(), 13);
+        // Node 2 starts pending far away and joins next to node 1.
+        rt.set_churn_plan(&ChurnPlan::new().join(5, 2, Point::new(2.0, 0.0)));
+        assert_eq!(rt.member_state(2), MemberState::Pending);
+        assert_eq!(rt.radio_neighbors(1), &[0], "pending node not in rows");
+        rt.start();
+        assert!(rt.run_with_limit(u64::MAX));
+        assert_eq!(rt.member_state(2), MemberState::Alive);
+        assert_eq!(rt.radio_neighbors(1), &[0, 2]);
+        assert_eq!(rt.stats().joins, 1);
+        // Joiner + node 1 (changed row) re-converged; node 0 unaffected.
+        assert_eq!(rt.stats().reconvergences, 2);
     }
 }

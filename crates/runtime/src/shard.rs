@@ -30,11 +30,13 @@
 //! The result: `run()`, `run_sharded(1)`, and `run_sharded(8)` produce
 //! bit-identical transcripts, stats, and actor states.
 
+use crate::churn::{ChurnDelta, ChurnKind};
 use crate::event::{Event, EventKind, EventQueue};
 use crate::fault::{FaultConfig, TransmitOutcome};
 use crate::node::{Actor, Ctx, Message};
 use crate::runtime::{link_key, shard_threads_from_env, LinkState, Runtime};
 use crate::stats::{NetStats, WindowNotes};
+use crate::MemberState;
 use adhoc_geom::Point;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -68,6 +70,13 @@ struct Shard<A: Actor> {
     links: HashMap<u64, LinkState>,
     /// Timer arm counters (full length; only own nodes' entries used).
     arm_seq: Vec<u64>,
+    /// This shard's copy of every node's neighbor row (full length;
+    /// senders need target rows for locality checks and broadcast
+    /// fan-out). Kept in lockstep via [`ChurnDelta::rows`].
+    neighbors: Vec<Vec<u32>>,
+    /// This shard's copy of the membership vector, updated from churn
+    /// batch entries at epoch barriers.
+    membership: Vec<MemberState>,
     faults: FaultConfig,
     seed: u64,
     stats: NetStats,
@@ -83,7 +92,7 @@ impl<A: Actor> Shard<A> {
     /// Process every owned event with `time < until` (one epoch). This
     /// mirrors `Runtime::run_with_limit`'s event loop exactly — the
     /// digest-parity tests pin the two implementations together.
-    fn advance(&mut self, until: u64, neighbors: &[Vec<u32>], shard_of: &[u32], total_nodes: u32) {
+    fn advance(&mut self, until: u64, shard_of: &[u32], total_nodes: u32) {
         while let Some(t) = self.queue.peek_time() {
             if t >= until {
                 break;
@@ -92,6 +101,25 @@ impl<A: Actor> Shard<A> {
             self.last_time = self.last_time.max(ev.time);
             let node = ev.key.node;
             let now = ev.time;
+            // Events addressed to a crashed node are accounted, not run —
+            // identical to the sequential executor's dead-node path.
+            if self.membership[node as usize] == MemberState::Dead {
+                match ev.kind {
+                    EventKind::Deliver { msg } => {
+                        self.stats.link_lost += 1;
+                        self.notes.note(
+                            node,
+                            format_args!("K t={} {}->{} {:?}", now, ev.key.src, node, msg),
+                        );
+                    }
+                    EventKind::Timer { timer } => {
+                        self.stats.timers_abandoned += 1;
+                        self.notes
+                            .note(node, format_args!("A t={} n={} id={}", now, node, timer));
+                    }
+                }
+                continue;
+            }
             match ev.kind {
                 EventKind::Deliver { msg } => {
                     let from = ev.key.src;
@@ -107,7 +135,7 @@ impl<A: Actor> Shard<A> {
                         .get_mut(&node)
                         .expect("event routed to wrong shard")
                         .on_message(&mut ctx, from, msg);
-                    self.flush(&mut ctx, neighbors, shard_of, total_nodes);
+                    self.flush(&mut ctx, shard_of, total_nodes);
                     self.scratch = ctx;
                 }
                 EventKind::Timer { timer } => {
@@ -120,20 +148,14 @@ impl<A: Actor> Shard<A> {
                         .get_mut(&node)
                         .expect("event routed to wrong shard")
                         .on_timer(&mut ctx, timer);
-                    self.flush(&mut ctx, neighbors, shard_of, total_nodes);
+                    self.flush(&mut ctx, shard_of, total_nodes);
                     self.scratch = ctx;
                 }
             }
         }
     }
 
-    fn flush(
-        &mut self,
-        ctx: &mut Ctx<A::Msg>,
-        neighbors: &[Vec<u32>],
-        shard_of: &[u32],
-        total_nodes: u32,
-    ) {
+    fn flush(&mut self, ctx: &mut Ctx<A::Msg>, shard_of: &[u32], total_nodes: u32) {
         let node = ctx.node;
         let now = ctx.now();
         for (to, msg) in ctx.sends.drain(..) {
@@ -142,7 +164,7 @@ impl<A: Actor> Shard<A> {
                 "node {node} sent {:?} to nonexistent node {to} (only {total_nodes} nodes exist)",
                 msg
             );
-            if node == to || neighbors[node as usize].binary_search(&to).is_err() {
+            if node == to || self.neighbors[node as usize].binary_search(&to).is_err() {
                 self.stats.non_neighbor_sends += 1;
                 self.notes
                     .note(node, format_args!("L t={} {}->{} {:?}", now, node, to, msg));
@@ -152,9 +174,11 @@ impl<A: Actor> Shard<A> {
         }
         for msg in ctx.broadcasts.drain(..) {
             self.stats.broadcasts += 1;
-            for &to in &neighbors[node as usize] {
+            let nbrs = std::mem::take(&mut self.neighbors[node as usize]);
+            for &to in &nbrs {
                 self.transmit_link(now, node, to, msg.clone(), shard_of);
             }
+            self.neighbors[node as usize] = nbrs;
         }
         for (at, timer) in ctx.timers.drain(..) {
             self.stats.timers_set += 1;
@@ -226,12 +250,72 @@ impl<A: Actor> Shard<A> {
             self.outbox.push(ev);
         }
     }
+
+    /// Apply one churn batch at an epoch barrier: sync membership and the
+    /// changed neighbor rows from the coordinator's [`ChurnDelta`], note
+    /// the perturbation records of owned entry nodes (plan order), and
+    /// run the re-convergence callbacks of owned affected nodes — the
+    /// shard-local half of `Runtime::apply_churn_local`.
+    fn apply_churn(&mut self, delta: &ChurnDelta, shard_of: &[u32], total_nodes: u32) {
+        for e in &delta.entries {
+            match e.kind {
+                ChurnKind::Join(_) => self.membership[e.node as usize] = MemberState::Alive,
+                ChurnKind::Leave => self.membership[e.node as usize] = MemberState::Draining,
+                ChurnKind::Crash => self.membership[e.node as usize] = MemberState::Dead,
+                ChurnKind::Drift(_) => {}
+            }
+        }
+        for (node, row) in &delta.rows {
+            self.neighbors[*node as usize] = row.clone();
+        }
+        for e in &delta.entries {
+            if shard_of[e.node as usize] != self.id {
+                continue;
+            }
+            match e.kind {
+                ChurnKind::Join(p) => self.notes.note(
+                    e.node,
+                    format_args!("J t={} n={} p=({:?},{:?})", delta.time, e.node, p.x, p.y),
+                ),
+                ChurnKind::Leave => self
+                    .notes
+                    .note(e.node, format_args!("G t={} n={}", delta.time, e.node)),
+                ChurnKind::Crash => self
+                    .notes
+                    .note(e.node, format_args!("C t={} n={}", delta.time, e.node)),
+                ChurnKind::Drift(p) => self.notes.note(
+                    e.node,
+                    format_args!("M t={} n={} p=({:?},{:?})", delta.time, e.node, p.x, p.y),
+                ),
+            }
+        }
+        for &(node, pos) in &delta.affected {
+            if shard_of[node as usize] != self.id {
+                continue;
+            }
+            let mut ctx = std::mem::take(&mut self.scratch);
+            ctx.reset(node, delta.time);
+            let row = std::mem::take(&mut self.neighbors[node as usize]);
+            self.nodes
+                .get_mut(&node)
+                .expect("affected node routed to wrong shard")
+                .on_neighborhood_change(&mut ctx, &row, pos);
+            self.neighbors[node as usize] = row;
+            self.flush(&mut ctx, shard_of, total_nodes);
+            self.scratch = ctx;
+        }
+    }
 }
 
 /// Coordinator → worker command.
 enum Cmd<M> {
-    /// Process one epoch: merge `inbox`, then run events `< until`.
-    Advance { until: u64, inbox: Vec<Event<M>> },
+    /// Process one epoch: merge `inbox`, apply `churn` (if the epoch
+    /// starts at a churn boundary), then run events `< until`.
+    Advance {
+        until: u64,
+        inbox: Vec<Event<M>>,
+        churn: Option<ChurnDelta>,
+    },
     /// Ship the shard state back and exit.
     Finish,
 }
@@ -262,17 +346,23 @@ fn worker_loop<A: Actor>(
     mut shard: Shard<A>,
     cmds: Receiver<Cmd<A::Msg>>,
     reports: Sender<Report<A>>,
-    neighbors: &[Vec<u32>],
     shard_of: &[u32],
 ) {
     let total_nodes = shard_of.len() as u32;
     while let Ok(cmd) = cmds.recv() {
         match cmd {
-            Cmd::Advance { until, inbox } => {
+            Cmd::Advance {
+                until,
+                inbox,
+                churn,
+            } => {
                 for ev in inbox {
                     shard.queue.insert(ev);
                 }
-                shard.advance(until, neighbors, shard_of, total_nodes);
+                if let Some(delta) = &churn {
+                    shard.apply_churn(delta, shard_of, total_nodes);
+                }
+                shard.advance(until, shard_of, total_nodes);
                 let (folds, logs) = shard.notes.take_folds();
                 let report = EpochReport {
                     shard: shard.id,
@@ -324,6 +414,8 @@ where
                 queue: EventQueue::new(),
                 links: HashMap::new(),
                 arm_seq: self.arm_seq.clone(),
+                neighbors: self.neighbors.clone(),
+                membership: self.membership.clone(),
                 faults: self.faults,
                 seed: self.seed,
                 stats: NetStats::default(),
@@ -352,7 +444,6 @@ where
         let mut inboxes: Vec<Vec<Event<A::Msg>>> = (0..shards).map(|_| Vec::new()).collect();
         let mut next_times: Vec<Option<u64>> = per.iter().map(|s| s.queue.peek_time()).collect();
 
-        let neighbors = &self.neighbors;
         let shard_of_ref = &shard_of;
         let (report_tx, report_rx) = channel::<Report<A>>();
         let mut cmd_txs: Vec<Sender<Cmd<A::Msg>>> = Vec::with_capacity(shards);
@@ -362,29 +453,42 @@ where
                 let (cmd_tx, cmd_rx) = channel::<Cmd<A::Msg>>();
                 cmd_txs.push(cmd_tx);
                 let tx = report_tx.clone();
-                scope.spawn(move || worker_loop(shard, cmd_rx, tx, neighbors, shard_of_ref));
+                scope.spawn(move || worker_loop(shard, cmd_rx, tx, shard_of_ref));
             }
             drop(report_tx);
 
             let mut now = self.now;
             loop {
                 // Earliest pending event anywhere (queues or unrouted
-                // inboxes); quiescent when none.
+                // inboxes); quiescent when none and no churn remains.
                 let pending_min = next_times
                     .iter()
                     .flatten()
                     .copied()
                     .chain(inboxes.iter().flat_map(|ib| ib.iter().map(|ev| ev.time)))
                     .min();
-                let Some(t) = pending_min else {
+                // A churn batch due at `tc` (always lookahead-aligned)
+                // opens the epoch `[tc, tc + L)`: the coordinator applies
+                // it to the master state and ships the delta to every
+                // worker — the exact cut the sequential executor makes.
+                let due_churn = self
+                    .churn
+                    .peek_time()
+                    .filter(|&tc| pending_min.is_none_or(|t| tc <= t));
+                let (until, churn) = if let Some(tc) = due_churn {
+                    now = now.max(tc);
+                    (tc + lookahead, Some(self.apply_churn_batch()))
+                } else if let Some(t) = pending_min {
+                    // One epoch: the lookahead window containing `t`.
+                    ((t / lookahead + 1) * lookahead, None)
+                } else {
                     break;
                 };
-                // One epoch: the lookahead window containing `t`.
-                let until = (t / lookahead + 1) * lookahead;
                 for (tx, inbox) in cmd_txs.iter().zip(inboxes.iter_mut()) {
                     tx.send(Cmd::Advance {
                         until,
                         inbox: std::mem::take(inbox),
+                        churn: churn.clone(),
                     })
                     .expect("worker died");
                 }
@@ -510,6 +614,16 @@ mod tests {
                 ctx.set_timer(2, 0);
             }
         }
+
+        fn on_neighborhood_change(&mut self, ctx: &mut Ctx<Word>, neighbors: &[u32], _pos: Point) {
+            // React to churn: record the new degree and re-announce, so
+            // parity tests exercise sends/timers out of this callback.
+            self.heard.push((u32::MAX, neighbors.len() as u32));
+            if !neighbors.is_empty() {
+                ctx.broadcast(Word(2));
+                ctx.set_timer(1, 7);
+            }
+        }
     }
 
     fn grid_points(side: usize) -> Vec<Point> {
@@ -587,6 +701,60 @@ mod tests {
         assert_eq!(seq.transcript().digest(), sh.transcript().digest());
         assert_eq!(seq.stats(), sh.stats());
         assert_eq!(seq.nodes(), sh.nodes());
+    }
+
+    /// Churn parity: joins, graceful/crash leaves, and drifts land at
+    /// epoch barriers, so digests, stats (including `link_lost` /
+    /// `timers_abandoned`), actor states, and end times stay bit-identical
+    /// across executors and thread counts.
+    #[test]
+    fn churn_runs_match_sequential_bit_for_bit() {
+        use crate::ChurnPlan;
+        let faults = FaultConfig {
+            drop_prob: 0.15,
+            duplicate_prob: 0.05,
+            delay: DelayDist::Uniform { min: 1, max: 4 },
+        };
+        let plan = ChurnPlan::new()
+            .join(3, 24, Point::new(1.3, 1.3))
+            .drift(5, 7, Point::new(3.1, 0.2))
+            .crash(8, 12)
+            .leave(8, 18)
+            .drift(11, 3, Point::new(0.1, 3.4));
+        let run = |threads: usize| {
+            let pts = grid_points(5);
+            let nodes = (0..pts.len() as u32)
+                .map(|id| Chatter {
+                    id,
+                    rounds_left: 4,
+                    heard: Vec::new(),
+                })
+                .collect();
+            let mut rt = Runtime::new(nodes, &pts, 1.0, faults, 42);
+            rt.set_churn_plan(&plan);
+            rt.record_trace(true);
+            rt.start();
+            let now = if threads == 0 {
+                rt.run()
+            } else {
+                rt.run_sharded(threads)
+            };
+            (now, rt)
+        };
+        let (seq_now, seq) = run(0);
+        assert!(seq.stats().crashes == 1 && seq.stats().joins == 1);
+        for threads in [1, 4, 8] {
+            let (sh_now, sh) = run(threads);
+            assert_eq!(
+                seq.transcript().digest(),
+                sh.transcript().digest(),
+                "churn digest diverged at {threads} threads"
+            );
+            assert_eq!(seq.transcript().entries(), sh.transcript().entries());
+            assert_eq!(seq.stats(), sh.stats(), "stats diverged at {threads}");
+            assert_eq!(seq.nodes(), sh.nodes(), "actor state diverged");
+            assert_eq!(seq_now, sh_now, "virtual end time diverged");
+        }
     }
 
     /// One shard (or one thread) falls back to the sequential path.

@@ -47,6 +47,25 @@ pub struct NetStats {
     /// counted here (not in `sent`/`dropped`, so link-level ledgers stay
     /// conserved).
     pub non_neighbor_sends: u64,
+    /// In-flight copies whose receiver crash-left before arrival: the
+    /// link transmission survived the fault model, but the node was
+    /// [`MemberState::Dead`](crate::MemberState::Dead) when the copy came
+    /// due, so it is accounted here instead of `delivered`.
+    pub link_lost: u64,
+    /// Timers that fired on a crashed node and were discarded.
+    pub timers_abandoned: u64,
+    /// Churn joins applied.
+    pub joins: u64,
+    /// Churn graceful leaves applied.
+    pub leaves: u64,
+    /// Churn crash leaves applied.
+    pub crashes: u64,
+    /// Churn waypoint drifts applied.
+    pub drifts: u64,
+    /// `on_neighborhood_change` notifications issued: live nodes whose
+    /// one-hop world changed at a churn boundary and were told to
+    /// re-converge.
+    pub reconvergences: u64,
     /// High-water mark of the event queue.
     pub max_queue_depth: usize,
     /// Per-kind breakdown, keyed by [`Message::kind`](crate::Message::kind).
@@ -83,6 +102,13 @@ impl NetStats {
         self.acks += other.acks;
         self.rto_fired += other.rto_fired;
         self.non_neighbor_sends += other.non_neighbor_sends;
+        self.link_lost += other.link_lost;
+        self.timers_abandoned += other.timers_abandoned;
+        self.joins += other.joins;
+        self.leaves += other.leaves;
+        self.crashes += other.crashes;
+        self.drifts += other.drifts;
+        self.reconvergences += other.reconvergences;
         for (k, c) in &other.per_kind {
             let mine = self.per_kind.entry(k).or_default();
             mine.sent += c.sent;

@@ -19,16 +19,37 @@
 //! for any fixed seed and moderate `p`, the reconstructed topology equals
 //! the direct `ThetaAlg::build` graph exactly; the test suite and
 //! experiment E20 assert this across loss rates.
+//!
+//! # Re-convergence under churn
+//!
+//! ΘALG is *local*: each node's cone construction reads only one-hop
+//! information, so when the neighborhood changes
+//! ([`Actor::on_neighborhood_change`]) the node re-runs the two-phase
+//! construction in a fresh **epoch** — state is retained for surviving
+//! neighbors (their positions and offers are still valid), the beacon /
+//! offer / admit rounds replay on a new `round_base`, and timers carry
+//! their epoch in the id so a stale round boundary can't fire into the
+//! new epoch. Two repair paths keep *settled* bystanders exact without
+//! restarting them: a node whose re-run drops a previously offered edge
+//! sends [`ThetaMsg::Retract`] (the receiver re-admits without it), and
+//! an offer arriving after a receiver settled triggers the same
+//! re-admission. [`run_theta_churn`] drives a [`ChurnPlan`] through the
+//! runtime and measures topology-repair latency — perturbation to the
+//! last admitted-set change — against the direct offline construction on
+//! the final live positions (experiment E21).
 
 use crate::fault::FaultConfig;
 use crate::node::{Actor, Ctx, Message};
 use crate::runtime::Runtime;
 use crate::stats::NetStats;
+use crate::{ChurnPlan, MemberState};
 use adhoc_geom::{Point, SectorPartition};
 use adhoc_graph::GraphBuilder;
 use adhoc_proximity::SpatialGraph;
 
-/// Timer ids used by [`ThetaNode`].
+/// Timer-id bases used by [`ThetaNode`]; the full id is
+/// `epoch * 4 + base`, so a timer armed before a neighborhood change can
+/// never fire into the node's next epoch (base 0 is never armed).
 const TIMER_RESEND: u32 = 1;
 const TIMER_ROUND2: u32 = 2;
 const TIMER_ROUND3: u32 = 3;
@@ -49,6 +70,11 @@ pub enum ThetaMsg {
     Connection,
     /// Acknowledges a [`ThetaMsg::Connection`].
     ConnAck,
+    /// Withdraws an earlier [`ThetaMsg::Neighborhood`]: a re-convergence
+    /// epoch recomputed `N(u)` and the receiver is no longer in it.
+    Retract,
+    /// Acknowledges a [`ThetaMsg::Retract`].
+    RetractAck,
 }
 
 impl Message for ThetaMsg {
@@ -59,6 +85,8 @@ impl Message for ThetaMsg {
             ThetaMsg::NbrAck => "nbr-ack",
             ThetaMsg::Connection => "connection",
             ThetaMsg::ConnAck => "conn-ack",
+            ThetaMsg::Retract => "retract",
+            ThetaMsg::RetractAck => "retract-ack",
         }
     }
 }
@@ -136,6 +164,19 @@ pub struct ThetaNode {
     conn_received: Vec<u32>,
     unacked_nbr: Vec<u32>,
     unacked_conn: Vec<u32>,
+    /// Retracted offers awaiting [`ThetaMsg::RetractAck`].
+    unacked_retract: Vec<u32>,
+    /// Re-convergence epoch: bumped by every neighborhood change; timer
+    /// ids are `epoch * 4 + base` so stale timers are silently dropped.
+    epoch: u32,
+    /// Virtual time the current epoch's round 1 began.
+    round_base: u64,
+    /// Virtual time this node last (re)computed its admitted set — the
+    /// per-node settle point that repair latency is measured from.
+    settled_at: u64,
+    /// Deadline bounding connection/retract resends in the current epoch
+    /// (extended when a late re-admission sends fresh connections).
+    conn_deadline: u64,
 }
 
 impl ThetaNode {
@@ -153,6 +194,11 @@ impl ThetaNode {
             conn_received: Vec::new(),
             unacked_nbr: Vec::new(),
             unacked_conn: Vec::new(),
+            unacked_retract: Vec::new(),
+            epoch: 0,
+            round_base: 0,
+            settled_at: 0,
+            conn_deadline: 0,
         }
     }
 
@@ -166,6 +212,16 @@ impl ThetaNode {
         &self.conn_received
     }
 
+    /// Virtual time this node last (re)computed its admitted set.
+    pub fn settled_at(&self) -> u64 {
+        self.settled_at
+    }
+
+    /// Re-convergence epochs this node went through (0 = never perturbed).
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
     /// Position of a heard node, if its beacon ever arrived.
     fn heard_pos(&self, v: u32) -> Option<Point> {
         self.heard.iter().find(|(u, _)| *u == v).map(|&(_, p)| p)
@@ -174,28 +230,82 @@ impl ThetaNode {
     /// Nearest heard node per sector — identical tie-breaking to the
     /// direct construction (smaller distance², then smaller id).
     fn nearest_per_sector(&self, candidates: impl Iterator<Item = (u32, Point)>) -> Vec<u32> {
-        let k = self.sectors.count() as usize;
-        let mut best: Vec<Option<(f64, u32)>> = vec![None; k];
-        for (v, pv) in candidates {
-            let s = self.sectors.sector_of(self.pos, pv) as usize;
-            let d = self.pos.dist_sq(pv);
-            let better = match best[s] {
-                None => true,
-                Some((bd, bv)) => d < bd || (d == bd && v < bv),
-            };
-            if better {
-                best[s] = Some((d, v));
-            }
-        }
-        best.iter().filter_map(|b| b.map(|(_, v)| v)).collect()
+        nearest_per_sector_at(&self.sectors, self.pos, candidates)
+    }
+
+    /// Timer id for `base` in the current epoch.
+    fn tid(&self, base: u32) -> u32 {
+        self.epoch * 4 + base
     }
 
     /// Re-arm the retransmit timer while it still fits inside `deadline`.
     fn rearm(&self, ctx: &mut Ctx<ThetaMsg>, deadline: u64) {
         if ctx.now() + self.timing.resend_every < deadline {
-            ctx.set_timer(self.timing.resend_every, TIMER_RESEND);
+            ctx.set_timer(self.timing.resend_every, self.tid(TIMER_RESEND));
         }
     }
+
+    /// Recompute the admitted set from the current offers, after an offer
+    /// arrived late or was retracted while this node was already settled.
+    /// Newly admitted neighbors get a `Connection` (with a retransmit
+    /// window of their own); an unchanged set is a no-op.
+    fn readmit(&mut self, ctx: &mut Ctx<ThetaMsg>) {
+        let offers = std::mem::take(&mut self.offers);
+        let new_admitted = self.nearest_per_sector(
+            offers
+                .iter()
+                .filter_map(|&v| self.heard_pos(v).map(|p| (v, p))),
+        );
+        self.offers = offers;
+        let mut old = self.admitted.clone();
+        let mut new = new_admitted.clone();
+        old.sort_unstable();
+        new.sort_unstable();
+        if old == new {
+            self.admitted = new_admitted;
+            return;
+        }
+        self.unacked_conn.retain(|v| new_admitted.contains(v));
+        for &v in &new_admitted {
+            if !self.admitted.contains(&v) {
+                ctx.send(v, ThetaMsg::Connection);
+                if !self.unacked_conn.contains(&v) {
+                    self.unacked_conn.push(v);
+                }
+            }
+        }
+        self.admitted = new_admitted;
+        self.settled_at = ctx.now();
+        self.conn_deadline = self.conn_deadline.max(ctx.now() + self.timing.round_len);
+        if !self.unacked_conn.is_empty() || !self.unacked_retract.is_empty() {
+            ctx.set_timer(self.timing.resend_every, self.tid(TIMER_RESEND));
+        }
+    }
+}
+
+/// Nearest candidate per sector as seen from `origin` — the selection
+/// rule of the direct construction (smaller distance², then smaller id).
+/// Shared by the in-protocol computation and the offline reference that
+/// churn runs are scored against.
+fn nearest_per_sector_at(
+    sectors: &SectorPartition,
+    origin: Point,
+    candidates: impl Iterator<Item = (u32, Point)>,
+) -> Vec<u32> {
+    let k = sectors.count() as usize;
+    let mut best: Vec<Option<(f64, u32)>> = vec![None; k];
+    for (v, pv) in candidates {
+        let s = sectors.sector_of(origin, pv) as usize;
+        let d = origin.dist_sq(pv);
+        let better = match best[s] {
+            None => true,
+            Some((bd, bv)) => d < bd || (d == bd && v < bv),
+        };
+        if better {
+            best[s] = Some((d, v));
+        }
+    }
+    best.iter().filter_map(|b| b.map(|(_, v)| v)).collect()
 }
 
 impl Actor for ThetaNode {
@@ -204,15 +314,19 @@ impl Actor for ThetaNode {
     fn on_start(&mut self, ctx: &mut Ctx<ThetaMsg>) {
         let l = self.timing.round_len;
         ctx.broadcast(ThetaMsg::Position { pos: self.pos });
-        ctx.set_timer(self.timing.resend_every, TIMER_RESEND);
-        ctx.set_timer(l, TIMER_ROUND2);
-        ctx.set_timer(2 * l, TIMER_ROUND3);
+        ctx.set_timer(self.timing.resend_every, self.tid(TIMER_RESEND));
+        ctx.set_timer(l, self.tid(TIMER_ROUND2));
+        ctx.set_timer(2 * l, self.tid(TIMER_ROUND3));
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<ThetaMsg>, from: u32, msg: ThetaMsg) {
         match msg {
             ThetaMsg::Position { pos } => {
-                if self.heard_pos(from).is_none() {
+                // Upsert: a re-beaconing drifter overwrites its old
+                // coordinates (no-op for a repeated static beacon).
+                if let Some(entry) = self.heard.iter_mut().find(|(u, _)| *u == from) {
+                    entry.1 = pos;
+                } else {
                     self.heard.push((from, pos));
                 }
             }
@@ -221,6 +335,12 @@ impl Actor for ThetaNode {
                 ctx.send(from, ThetaMsg::NbrAck);
                 if !self.offers.contains(&from) {
                     self.offers.push(from);
+                    // An offer landing after this node settled (the
+                    // sender re-converged in a later epoch): re-admit
+                    // instead of restarting.
+                    if self.phase == Phase::Connections {
+                        self.readmit(ctx);
+                    }
                 }
             }
             ThetaMsg::NbrAck => self.unacked_nbr.retain(|&v| v != from),
@@ -231,21 +351,48 @@ impl Actor for ThetaNode {
                 }
             }
             ThetaMsg::ConnAck => self.unacked_conn.retain(|&v| v != from),
+            ThetaMsg::Retract => {
+                ctx.send(from, ThetaMsg::RetractAck);
+                let before = self.offers.len();
+                self.offers.retain(|&v| v != from);
+                if self.offers.len() != before && self.phase == Phase::Connections {
+                    self.readmit(ctx);
+                }
+            }
+            ThetaMsg::RetractAck => self.unacked_retract.retain(|&v| v != from),
         }
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<ThetaMsg>, timer: u32) {
         let l = self.timing.round_len;
-        match timer {
+        // A timer armed before a neighborhood change belongs to a dead
+        // epoch: ignore it.
+        if timer / 4 != self.epoch {
+            return;
+        }
+        match timer % 4 {
             TIMER_ROUND2 => {
                 self.phase = Phase::Offers;
-                self.chosen = self.nearest_per_sector(self.heard.iter().copied());
+                let new_chosen = self.nearest_per_sector(self.heard.iter().copied());
+                // Offers from a previous epoch that the re-run no longer
+                // makes are withdrawn so settled receivers re-admit.
+                let retracts: Vec<u32> = self
+                    .chosen
+                    .iter()
+                    .copied()
+                    .filter(|v| !new_chosen.contains(v))
+                    .collect();
+                for &v in &retracts {
+                    ctx.send(v, ThetaMsg::Retract);
+                }
+                self.unacked_retract = retracts;
+                self.chosen = new_chosen;
                 for &v in &self.chosen {
                     ctx.send(v, ThetaMsg::Neighborhood);
                 }
                 self.unacked_nbr = self.chosen.clone();
-                if !self.unacked_nbr.is_empty() {
-                    ctx.set_timer(self.timing.resend_every, TIMER_RESEND);
+                if !self.unacked_nbr.is_empty() || !self.unacked_retract.is_empty() {
+                    ctx.set_timer(self.timing.resend_every, self.tid(TIMER_RESEND));
                 }
             }
             TIMER_ROUND3 => {
@@ -266,34 +413,74 @@ impl Actor for ThetaNode {
                     ctx.send(v, ThetaMsg::Connection);
                 }
                 self.unacked_conn = self.admitted.clone();
-                if !self.unacked_conn.is_empty() {
-                    ctx.set_timer(self.timing.resend_every, TIMER_RESEND);
+                self.settled_at = ctx.now();
+                self.conn_deadline = self.round_base + 3 * l;
+                if !self.unacked_conn.is_empty() || !self.unacked_retract.is_empty() {
+                    ctx.set_timer(self.timing.resend_every, self.tid(TIMER_RESEND));
                 }
             }
             TIMER_RESEND => match self.phase {
                 Phase::Positions => {
                     ctx.broadcast(ThetaMsg::Position { pos: self.pos });
-                    self.rearm(ctx, l);
+                    self.rearm(ctx, self.round_base + l);
                 }
                 Phase::Offers => {
                     for &v in &self.unacked_nbr {
                         ctx.send(v, ThetaMsg::Neighborhood);
                     }
-                    if !self.unacked_nbr.is_empty() {
-                        self.rearm(ctx, 2 * l);
+                    for &v in &self.unacked_retract {
+                        ctx.send(v, ThetaMsg::Retract);
+                    }
+                    if !self.unacked_nbr.is_empty() || !self.unacked_retract.is_empty() {
+                        self.rearm(ctx, self.round_base + 2 * l);
                     }
                 }
                 Phase::Connections => {
                     for &v in &self.unacked_conn {
                         ctx.send(v, ThetaMsg::Connection);
                     }
-                    if !self.unacked_conn.is_empty() {
-                        self.rearm(ctx, 3 * l);
+                    for &v in &self.unacked_retract {
+                        ctx.send(v, ThetaMsg::Retract);
+                    }
+                    if !self.unacked_conn.is_empty() || !self.unacked_retract.is_empty() {
+                        self.rearm(ctx, self.conn_deadline);
                     }
                 }
             },
             _ => unreachable!("unknown timer {timer}"),
         }
+    }
+
+    fn on_neighborhood_change(&mut self, ctx: &mut Ctx<ThetaMsg>, neighbors: &[u32], pos: Point) {
+        self.pos = pos;
+        self.epoch += 1;
+        self.round_base = ctx.now();
+        // Keep what is still valid: surviving neighbors' positions and
+        // offers carry over (a drifter's position is refreshed by its
+        // round-1 beacon upsert); everything else re-derives.
+        self.heard
+            .retain(|&(v, _)| neighbors.binary_search(&v).is_ok());
+        self.chosen.retain(|&v| neighbors.binary_search(&v).is_ok());
+        self.offers.retain(|&v| neighbors.binary_search(&v).is_ok());
+        self.admitted
+            .retain(|&v| neighbors.binary_search(&v).is_ok());
+        self.conn_received
+            .retain(|&v| neighbors.binary_search(&v).is_ok());
+        self.unacked_nbr.clear();
+        self.unacked_conn.clear();
+        self.unacked_retract.clear();
+        self.phase = Phase::Positions;
+        if neighbors.is_empty() {
+            // Isolated or departed: nothing to build, nothing to arm —
+            // the retains above already emptied all protocol state.
+            self.settled_at = ctx.now();
+            return;
+        }
+        let l = self.timing.round_len;
+        ctx.broadcast(ThetaMsg::Position { pos: self.pos });
+        ctx.set_timer(self.timing.resend_every, self.tid(TIMER_RESEND));
+        ctx.set_timer(l, self.tid(TIMER_ROUND2));
+        ctx.set_timer(2 * l, self.tid(TIMER_ROUND3));
     }
 }
 
@@ -398,6 +585,135 @@ pub fn run_theta_protocol_sharded(
         } else {
             aware as f64 / admitted_total as f64
         },
+    }
+}
+
+/// Result of one churn/mobility execution of the hardened protocol
+/// ([`run_theta_churn`]).
+#[derive(Debug, Clone)]
+pub struct ThetaChurnRun {
+    /// The live-node topology at quiescence: admitted edges between nodes
+    /// still alive, weighted by distance at the final positions.
+    pub graph: SpatialGraph,
+    /// Message/timer/churn counters.
+    pub stats: NetStats,
+    /// Replay digest — identical across executors and thread counts.
+    pub digest: u64,
+    /// Virtual time at quiescence.
+    pub finished_at: u64,
+    /// Nodes alive at the end of the run (id order).
+    pub live: Vec<u32>,
+    /// Fraction of live nodes whose admitted set exactly matches the
+    /// direct offline ΘALG construction on the final live positions —
+    /// 1.0 means every survivor fully repaired its cone neighborhood.
+    pub fidelity: f64,
+    /// Topology-repair latency: ticks from the last perturbation to the
+    /// moment the slowest live node last settled its admitted set. (With
+    /// an empty plan this is the initial convergence time, `2·round_len`.)
+    pub repair_latency: u64,
+}
+
+/// Execute the hardened ΘALG protocol under a [`ChurnPlan`]: nodes join,
+/// leave, crash, and drift mid-run; survivors re-converge locally (see
+/// the module docs). The result is scored against the direct offline
+/// construction on the final live positions and is bit-identical across
+/// executors (`threads <= 1` runs sequentially).
+#[allow(clippy::too_many_arguments)]
+pub fn run_theta_churn(
+    points: &[Point],
+    sectors: SectorPartition,
+    range: f64,
+    timing: ThetaTiming,
+    faults: FaultConfig,
+    seed: u64,
+    plan: &ChurnPlan,
+    threads: usize,
+) -> ThetaChurnRun {
+    timing.validate(&faults);
+    assert!(range.is_finite() && range > 0.0, "range must be positive");
+    if points.is_empty() {
+        return ThetaChurnRun {
+            graph: SpatialGraph::new(Vec::new(), GraphBuilder::new(0).build(), range),
+            stats: NetStats::default(),
+            digest: crate::stats::Transcript::new(false).digest(),
+            finished_at: 0,
+            live: Vec::new(),
+            fidelity: 1.0,
+            repair_latency: 0,
+        };
+    }
+    let nodes: Vec<ThetaNode> = points
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| ThetaNode::new(i as u32, p, sectors, timing))
+        .collect();
+    let mut rt = Runtime::new(nodes, points, range, faults, seed);
+    rt.set_churn_plan(plan);
+    rt.start();
+    let finished_at = if threads > 1 {
+        rt.run_sharded(threads)
+    } else {
+        rt.run()
+    };
+
+    let n = points.len();
+    let live: Vec<u32> = (0..n as u32)
+        .filter(|&u| rt.member_state(u) == MemberState::Alive)
+        .collect();
+    let positions = rt.positions().to_vec();
+    // Direct offline ΘALG on the final live topology: every live node
+    // chooses the nearest live radio neighbor per sector, offers
+    // transpose, and each node admits the nearest offer per sector.
+    let mut offers_off: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for &u in &live {
+        let chosen = nearest_per_sector_at(
+            &sectors,
+            positions[u as usize],
+            rt.radio_neighbors(u)
+                .iter()
+                .map(|&v| (v, positions[v as usize])),
+        );
+        for &v in &chosen {
+            offers_off[v as usize].push(u);
+        }
+    }
+    let mut matching = 0usize;
+    let mut settled = 0u64;
+    let mut builder = GraphBuilder::new(n);
+    for &u in &live {
+        let mut want = nearest_per_sector_at(
+            &sectors,
+            positions[u as usize],
+            offers_off[u as usize]
+                .iter()
+                .map(|&v| (v, positions[v as usize])),
+        );
+        let node = rt.node(u);
+        let mut got: Vec<u32> = node.admitted().to_vec();
+        got.sort_unstable();
+        want.sort_unstable();
+        if got == want {
+            matching += 1;
+        }
+        for &v in node.admitted() {
+            if rt.member_state(v) == MemberState::Alive {
+                builder.add_edge(u, v, positions[u as usize].dist(positions[v as usize]));
+            }
+        }
+        settled = settled.max(node.settled_at());
+    }
+    ThetaChurnRun {
+        graph: SpatialGraph::new(positions, builder.build(), range),
+        stats: rt.stats().clone(),
+        digest: rt.transcript().digest(),
+        finished_at,
+        fidelity: if live.is_empty() {
+            1.0
+        } else {
+            matching as f64 / live.len() as f64
+        },
+        repair_latency: settled.saturating_sub(rt.last_churn_time()),
+        live,
     }
 }
 
@@ -555,6 +871,140 @@ mod tests {
             0,
         );
         assert!(run.graph.is_empty());
+    }
+
+    #[test]
+    fn lossless_churn_reconverges_to_offline_construction() {
+        // Four well-separated perturbations (≥ 3·round_len apart): a
+        // join, a drift, a graceful leave, and a crash. On lossless links
+        // every survivor must end with exactly the admitted set the
+        // offline ΘALG computes on the final live positions.
+        let mut points = uniform(40, 6);
+        points.push(Point::new(2.0, 2.0)); // placeholder, respawned on join
+        let range = 0.45;
+        let alg = ThetaAlg::new(FRAC_PI_3, range);
+        let plan = ChurnPlan::new()
+            .join(200, 40, Point::new(0.5, 0.5))
+            .drift(400, 3, Point::new(0.25, 0.6))
+            .leave(600, 7)
+            .crash(800, 11);
+        let run = run_theta_churn(
+            &points,
+            alg.sectors(),
+            range,
+            ThetaTiming::default(),
+            FaultConfig::ideal(),
+            6,
+            &plan,
+            1,
+        );
+        assert_eq!(run.fidelity, 1.0, "run {:?}", run.stats);
+        assert_eq!(run.live.len(), 39, "41 nodes − leaver − crasher");
+        assert!(!run.live.contains(&7) && !run.live.contains(&11));
+        assert!(run.live.contains(&40), "joiner must be live");
+        let rl = ThetaTiming::default().round_len;
+        assert!(
+            run.repair_latency > 0 && run.repair_latency <= 3 * rl,
+            "repair latency {} outside (0, {}]",
+            run.repair_latency,
+            3 * rl
+        );
+        assert_eq!(run.stats.joins, 1);
+        assert_eq!(run.stats.leaves, 1);
+        assert_eq!(run.stats.crashes, 1);
+        assert_eq!(run.stats.drifts, 1);
+        assert!(run.stats.reconvergences > 0);
+    }
+
+    #[test]
+    fn lossy_churn_still_reconverges_exactly() {
+        // Retransmission budgets absorb moderate loss during repair just
+        // as they do during initial construction.
+        let points = uniform(50, 12);
+        let range = 0.45;
+        let alg = ThetaAlg::new(FRAC_PI_3, range);
+        let plan = ChurnPlan::new()
+            .crash(200, 5)
+            .drift(500, 17, Point::new(0.4, 0.3));
+        let run = run_theta_churn(
+            &points,
+            alg.sectors(),
+            range,
+            ThetaTiming::default(),
+            FaultConfig::lossy(0.1),
+            9,
+            &plan,
+            1,
+        );
+        assert_eq!(run.fidelity, 1.0, "10% loss must be absorbed by retries");
+        assert!(run.stats.dropped > 0);
+    }
+
+    #[test]
+    fn churn_digest_identical_sequential_vs_sharded() {
+        let points = uniform(48, 21);
+        let range = 0.45;
+        let alg = ThetaAlg::new(FRAC_PI_3, range);
+        let plan =
+            ChurnPlan::new()
+                .crash(130, 2)
+                .leave(260, 9)
+                .drift(400, 14, Point::new(0.7, 0.1));
+        let faults = FaultConfig {
+            drop_prob: 0.1,
+            duplicate_prob: 0.05,
+            delay: DelayDist::Uniform { min: 1, max: 4 },
+        };
+        let go = |threads| {
+            run_theta_churn(
+                &points,
+                alg.sectors(),
+                range,
+                ThetaTiming::default(),
+                faults,
+                33,
+                &plan,
+                threads,
+            )
+        };
+        let seq = go(1);
+        for threads in [4, 8] {
+            let sh = go(threads);
+            assert_eq!(sh.digest, seq.digest, "threads={threads}");
+            assert_eq!(sh.stats, seq.stats, "threads={threads}");
+            assert_eq!(sh.graph.graph, seq.graph.graph, "threads={threads}");
+            assert_eq!(sh.fidelity, seq.fidelity, "threads={threads}");
+            assert_eq!(sh.repair_latency, seq.repair_latency, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_churn_plan_matches_plain_protocol_run() {
+        let points = uniform(40, 3);
+        let alg = ThetaAlg::new(FRAC_PI_3, 0.5);
+        let faults = FaultConfig::lossy(0.15);
+        let plain = run_theta_protocol(
+            &points,
+            alg.sectors(),
+            0.5,
+            ThetaTiming::default(),
+            faults,
+            11,
+        );
+        let churn = run_theta_churn(
+            &points,
+            alg.sectors(),
+            0.5,
+            ThetaTiming::default(),
+            faults,
+            11,
+            &ChurnPlan::default(),
+            1,
+        );
+        assert_eq!(plain.digest, churn.digest);
+        assert_eq!(plain.graph.graph, churn.graph.graph);
+        assert_eq!(churn.live.len(), 40);
+        assert_eq!(churn.fidelity, 1.0);
     }
 
     #[test]

@@ -29,9 +29,11 @@
 //!   injection: ΘALG and `(T,γ)`-balancing replayed as actor protocols
 //!   over lossy, delaying, duplicating links, with an optional per-link
 //!   reliable-delivery sublayer (sliding window + cumulative ack +
-//!   capped-backoff retransmit) under the balancing packet traffic.
+//!   capped-backoff retransmit) under the balancing packet traffic, and
+//!   a seeded churn/mobility engine (joins, graceful leaves, crashes,
+//!   waypoint drift) under which ΘALG re-converges locally.
 //! * [`sim`] — OPT-by-construction adversaries, workloads, mobility, and
-//!   the experiment runners E1–E20 (`cargo run -p adhoc-sim --bin
+//!   the experiment runners E1–E21 (`cargo run -p adhoc-sim --bin
 //!   report`).
 //!
 //! ## Quickstart
@@ -92,9 +94,10 @@ pub mod prelude {
         HoneycombRouter, InterferenceRouter, StaleBalancingRouter, TracedRouter,
     };
     pub use adhoc_runtime::{
-        edge_fidelity, run_gossip_balancing, run_gossip_balancing_sharded, run_theta_protocol,
-        run_theta_protocol_sharded, uniform_workload, DelayDist, FaultConfig, GossipConfig,
-        ReliableConfig, Runtime, ThetaTiming,
+        edge_fidelity, run_gossip_balancing, run_gossip_balancing_churn,
+        run_gossip_balancing_sharded, run_theta_churn, run_theta_protocol,
+        run_theta_protocol_sharded, uniform_workload, ChurnPlan, DelayDist, FaultConfig,
+        GossipConfig, MemberState, ReliableConfig, Runtime, ThetaTiming,
     };
     pub use adhoc_sim::{build_schedule, run_balancing_on_schedule, ScenarioConfig, Workload};
     pub use rand::SeedableRng;

@@ -2,14 +2,19 @@
 //!
 //! Every scenario in the quick E20 sweep (ΘALG protocol and
 //! gossip-balancing in both delivery modes, across the loss-rate grid)
-//! has its replay digest pinned in `tests/fixtures/e20_digests.txt`. The
-//! runtime promises bit-for-bit replay from a seed; this suite extends
-//! that promise across *commits*: any change to event ordering, RNG
-//! consumption, fault sampling, or message contents shows up here as a
-//! digest mismatch instead of a silent behavioural drift.
+//! has its replay digest pinned in `tests/fixtures/e20_digests.txt`, and
+//! every E21 churn scenario (3 seeds × {no-churn, leave-heavy,
+//! drift-heavy}) in `tests/fixtures/e21_digests.txt`. The runtime
+//! promises bit-for-bit replay from a seed; this suite extends that
+//! promise across *commits*: any change to event ordering, RNG
+//! consumption, fault sampling, churn scheduling, or message contents
+//! shows up here as a digest mismatch instead of a silent behavioural
+//! drift. The CI thread matrix reruns both suites under
+//! `ADHOC_SHARD_THREADS` 1 and 4 against the same fixtures, so they also
+//! pin sequential/sharded executor equivalence.
 //!
 //! When a divergence is intentional (e.g. a new field in a message enum),
-//! regenerate the fixture and review it like any other diff:
+//! regenerate the fixtures and review them like any other diff:
 //!
 //! ```text
 //! UPDATE_GOLDEN=1 cargo test --test golden_digests
@@ -17,14 +22,19 @@
 
 use std::fmt::Write as _;
 
-const FIXTURE: &str = concat!(
+const E20_FIXTURE: &str = concat!(
     env!("CARGO_MANIFEST_DIR"),
     "/tests/fixtures/e20_digests.txt"
 );
 
-fn render(digests: &[(String, u64)]) -> String {
-    let mut s = String::from(
-        "# E20 quick-sweep replay digests.\n\
+const E21_FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/e21_digests.txt"
+);
+
+fn render(title: &str, digests: &[(String, u64)]) -> String {
+    let mut s = format!(
+        "# {title} replay digests.\n\
          # Regenerate: UPDATE_GOLDEN=1 cargo test --test golden_digests\n",
     );
     for (name, digest) in digests {
@@ -33,14 +43,12 @@ fn render(digests: &[(String, u64)]) -> String {
     s
 }
 
-#[test]
-fn e20_digests_match_golden_fixture() {
-    let actual = render(&adhoc_sim::experiments::e20_runtime_faults::golden_digests());
+fn check(fixture: &str, actual: &str) {
     if std::env::var_os("UPDATE_GOLDEN").is_some() {
-        std::fs::write(FIXTURE, &actual).expect("writing fixture");
+        std::fs::write(fixture, actual).expect("writing fixture");
         return;
     }
-    let expected = std::fs::read_to_string(FIXTURE).expect(
+    let expected = std::fs::read_to_string(fixture).expect(
         "missing fixture — create it with UPDATE_GOLDEN=1 cargo test --test golden_digests",
     );
     assert_eq!(
@@ -49,4 +57,22 @@ fn e20_digests_match_golden_fixture() {
          regenerate with UPDATE_GOLDEN=1 cargo test --test golden_digests \
          and commit the new fixture"
     );
+}
+
+#[test]
+fn e20_digests_match_golden_fixture() {
+    let actual = render(
+        "E20 quick-sweep",
+        &adhoc_sim::experiments::e20_runtime_faults::golden_digests(),
+    );
+    check(E20_FIXTURE, &actual);
+}
+
+#[test]
+fn e21_churn_digests_match_golden_fixture() {
+    let actual = render(
+        "E21 churn-scenario",
+        &adhoc_sim::experiments::e21_churn::golden_digests(),
+    );
+    check(E21_FIXTURE, &actual);
 }

@@ -111,6 +111,75 @@ proptest! {
         }
     }
 
+    /// Churn is part of the determinism contract: for a random churn
+    /// plan (joins, leaves, crashes, drift), random geometry, and random
+    /// fault mix, the sequential executor and the sharded executor at 2
+    /// and 4 threads produce bit-identical digests, stats, protocol
+    /// outcomes, and conservation ledgers — for both ported protocols.
+    #[test]
+    fn churn_execution_is_digest_identical(
+        raw in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 10..30),
+        drop_prob in 0.0f64..0.3,
+        duplicate_prob in 0.0f64..0.2,
+        events in 1usize..8,
+        seed in 0u64..1_000_000
+    ) {
+        let points = dedup_points(&raw);
+        let n = points.len();
+        let range = default_max_range(n);
+        let sectors = SectorPartition::with_max_angle(std::f64::consts::FRAC_PI_3);
+        let faults = FaultConfig {
+            drop_prob,
+            duplicate_prob,
+            delay: DelayDist::Uniform { min: 1, max: 6 },
+        };
+        let spares = n / 5;
+        let plan = ChurnPlan::random(n - spares, spares, 1.0, 600, events, seed ^ 0xabcd);
+
+        let seq = run_theta_churn(
+            &points, sectors, range, ThetaTiming::default(), faults, seed, &plan, 1,
+        );
+        for threads in [2usize, 4] {
+            let par = run_theta_churn(
+                &points, sectors, range, ThetaTiming::default(), faults, seed, &plan, threads,
+            );
+            prop_assert_eq!(seq.digest, par.digest, "theta churn digest diverged at {} threads", threads);
+            prop_assert_eq!(&seq.stats, &par.stats);
+            prop_assert_eq!(&seq.graph.graph, &par.graph.graph);
+            prop_assert_eq!(&seq.live, &par.live);
+            prop_assert_eq!(seq.fidelity, par.fidelity);
+            prop_assert_eq!(seq.repair_latency, par.repair_latency);
+            prop_assert_eq!(seq.finished_at, par.finished_at);
+        }
+
+        let graph = unit_disk_graph(&points, range);
+        let dests = [0u32];
+        let wl = uniform_workload(n, &dests, 40, 1, seed ^ 1);
+        let base = GossipConfig::new(
+            BalancingConfig { threshold: 0.5, gamma: 0.1, capacity: 20 },
+            60,
+        );
+        for cfg in [base, base.with_reliability(ReliableConfig::default())] {
+            let gs = run_gossip_balancing_churn(&graph, &dests, cfg, &wl, faults, seed, &plan, 1);
+            prop_assert!(
+                gs.conserved(),
+                "churn ledger out of balance (reliable={}): {:?}",
+                cfg.reliability.is_some(),
+                gs
+            );
+            for threads in [2usize, 4] {
+                let gp = run_gossip_balancing_churn(
+                    &graph, &dests, cfg, &wl, faults, seed, &plan, threads,
+                );
+                prop_assert_eq!(
+                    &gs, &gp,
+                    "gossip churn run diverged (reliable={}, threads={})",
+                    cfg.reliability.is_some(), threads
+                );
+            }
+        }
+    }
+
     /// Whenever loss stays within the retransmit budget (16 tries per
     /// message at the default timing), the protocol's `𝒩` equals the
     /// direct `ThetaAlg::build` graph *exactly* — the paper's 3-round
