@@ -130,6 +130,45 @@ impl ChurnPlan {
         self.entries.len()
     }
 
+    /// Compile a sampled mobility trace into a drift plan.
+    ///
+    /// `frames[k]` holds every node's position at sample `k` of a
+    /// continuous mobility model (e.g. the random-waypoint trajectories
+    /// of experiment E11): `frames[0]` is the initial placement the
+    /// runtime is constructed with (nothing is scheduled for it), and
+    /// each later frame becomes one batch of [`ChurnKind::Drift`]
+    /// entries at time `start + k · every` — only for the nodes that
+    /// actually moved since the previous frame, so a parked node costs
+    /// nothing. The result replays continuous mobility through the same
+    /// deterministic churn machinery as hand-written plans.
+    ///
+    /// Panics if `frames` is empty, the frames disagree on node count,
+    /// or `every == 0`.
+    pub fn from_waypoint_trace(frames: &[Vec<Point>], start: u64, every: u64) -> Self {
+        assert!(
+            !frames.is_empty(),
+            "waypoint trace needs at least one frame"
+        );
+        assert!(every >= 1, "frame spacing must be ≥ 1 tick");
+        let n = frames[0].len();
+        let mut plan = ChurnPlan::new();
+        for (k, frame) in frames.iter().enumerate().skip(1) {
+            assert_eq!(
+                frame.len(),
+                n,
+                "frame {k} has {} nodes, frame 0 has {n}",
+                frame.len()
+            );
+            let at = start + k as u64 * every;
+            for (node, (&pos, &prev)) in frame.iter().zip(&frames[k - 1]).enumerate() {
+                if pos != prev {
+                    plan = plan.drift(at, node as u32, pos);
+                }
+            }
+        }
+        plan
+    }
+
     /// A seeded random plan over a network of `alive + spares` nodes:
     /// nodes `0..alive` start in the network, nodes `alive..alive+spares`
     /// start [`MemberState::Pending`] and may join later. `events`
@@ -476,6 +515,47 @@ mod tests {
             ChurnPlan::random(10, 3, 1.0, 500, 30, 1),
             ChurnPlan::random(10, 3, 1.0, 500, 30, 2)
         );
+    }
+
+    #[test]
+    fn waypoint_trace_compiles_to_moved_node_drifts() {
+        let frames = vec![
+            vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)],
+            vec![Point::new(0.5, 0.0), Point::new(1.0, 0.0)], // only node 0 moved
+            vec![Point::new(0.5, 0.0), Point::new(1.0, 0.5)], // only node 1 moved
+        ];
+        let plan = ChurnPlan::from_waypoint_trace(&frames, 10, 5);
+        assert_eq!(
+            plan.entries(),
+            &[
+                ChurnEntry {
+                    at: 15,
+                    node: 0,
+                    kind: ChurnKind::Drift(Point::new(0.5, 0.0)),
+                },
+                ChurnEntry {
+                    at: 20,
+                    node: 1,
+                    kind: ChurnKind::Drift(Point::new(1.0, 0.5)),
+                },
+            ]
+        );
+        // Drift-only plans are always valid: no membership transitions.
+        plan_churn(&plan, 2, 4);
+        // A static trace schedules nothing.
+        assert!(ChurnPlan::from_waypoint_trace(&frames[..1], 10, 5).is_empty());
+        let parked = vec![frames[0].clone(), frames[0].clone()];
+        assert!(ChurnPlan::from_waypoint_trace(&parked, 10, 5).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "frame 1 has 1 nodes")]
+    fn waypoint_trace_rejects_ragged_frames() {
+        let frames = vec![
+            vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)],
+            vec![Point::new(0.0, 0.0)],
+        ];
+        ChurnPlan::from_waypoint_trace(&frames, 1, 1);
     }
 
     #[test]

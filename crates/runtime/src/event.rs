@@ -12,6 +12,8 @@
 
 use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
+use std::fmt;
+use std::sync::Arc;
 
 /// Canonical tie-break key for events scheduled at the same tick.
 ///
@@ -68,14 +70,58 @@ impl EventKey {
     }
 }
 
+/// A delivery payload: owned for unicasts, reference-counted for
+/// broadcast fan-out so one broadcast costs one allocation instead of a
+/// deep clone per neighbor (the per-neighbor clones dominated large-run
+/// profiles). The `Debug` rendering delegates to `M` byte for byte —
+/// transcript records (and therefore replay digests) cannot tell the two
+/// representations apart.
+#[derive(Clone)]
+pub enum Payload<M> {
+    /// A payload with a single addressee (unicast copy).
+    Own(M),
+    /// One broadcast's payload, shared by every per-neighbor copy. The
+    /// last surviving copy unwraps the `Arc` and moves the message;
+    /// earlier copies clone at delivery time — so copies dropped by the
+    /// fault layer never pay for a clone at all.
+    Shared(Arc<M>),
+}
+
+impl<M> Payload<M> {
+    /// Borrow the message.
+    pub fn get(&self) -> &M {
+        match self {
+            Payload::Own(m) => m,
+            Payload::Shared(m) => m,
+        }
+    }
+
+    /// Take the message, cloning only if other copies still share it.
+    pub fn into_msg(self) -> M
+    where
+        M: Clone,
+    {
+        match self {
+            Payload::Own(m) => m,
+            Payload::Shared(m) => Arc::try_unwrap(m).unwrap_or_else(|m| (*m).clone()),
+        }
+    }
+}
+
+impl<M: fmt::Debug> fmt::Debug for Payload<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.get().fmt(f)
+    }
+}
+
 /// What happens when an event fires.
 #[derive(Debug, Clone)]
 pub enum EventKind<M> {
     /// A message arrives at the owner's mailbox (sender in
     /// [`EventKey::src`]).
     Deliver {
-        /// Payload.
-        msg: M,
+        /// Payload (owned or broadcast-shared).
+        msg: Payload<M>,
     },
     /// A timer set by the owner fires.
     Timer {
@@ -172,7 +218,13 @@ mod tests {
     fn orders_by_time_then_canonical_key() {
         let mut q: EventQueue<u32> = EventQueue::new();
         q.push(5, EventKey::timer(0, 0), EventKind::Timer { timer: 0 });
-        q.push(3, EventKey::deliver(0, 2, 0), EventKind::Deliver { msg: 9 });
+        q.push(
+            3,
+            EventKey::deliver(0, 2, 0),
+            EventKind::Deliver {
+                msg: Payload::Own(9),
+            },
+        );
         q.push(3, EventKey::timer(1, 0), EventKind::Timer { timer: 0 });
         q.push(1, EventKey::timer(3, 0), EventKind::Timer { timer: 0 });
         let order: Vec<(u64, u32)> = std::iter::from_fn(|| q.pop())
@@ -186,10 +238,28 @@ mod tests {
     #[test]
     fn same_tick_same_node_is_timer_then_sender_then_link_seq() {
         let mut q: EventQueue<u32> = EventQueue::new();
-        q.push(4, EventKey::deliver(7, 2, 1), EventKind::Deliver { msg: 3 });
-        q.push(4, EventKey::deliver(5, 2, 0), EventKind::Deliver { msg: 1 });
+        q.push(
+            4,
+            EventKey::deliver(7, 2, 1),
+            EventKind::Deliver {
+                msg: Payload::Own(3),
+            },
+        );
+        q.push(
+            4,
+            EventKey::deliver(5, 2, 0),
+            EventKind::Deliver {
+                msg: Payload::Own(1),
+            },
+        );
         q.push(4, EventKey::timer(2, 9), EventKind::Timer { timer: 1 });
-        q.push(4, EventKey::deliver(7, 2, 0), EventKind::Deliver { msg: 2 });
+        q.push(
+            4,
+            EventKey::deliver(7, 2, 0),
+            EventKind::Deliver {
+                msg: Payload::Own(2),
+            },
+        );
         let keys: Vec<EventKey> = std::iter::from_fn(|| q.pop()).map(|e| e.key).collect();
         assert_eq!(
             keys,

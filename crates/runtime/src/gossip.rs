@@ -18,6 +18,7 @@
 //! `injected = absorbed + buffered + overflow_dropped + link_lost`,
 //! asserted by [`GossipRun::conserved`] after every run.
 
+use crate::adversary::{AdversarialActor, AdversaryPlan, AdversaryTarget, Attack, Custody};
 use crate::fault::FaultConfig;
 use crate::node::{Actor, Ctx, Message};
 use crate::reliable::{ReliableActor, ReliableConfig};
@@ -29,7 +30,7 @@ use adhoc_proximity::SpatialGraph;
 use adhoc_routing::BalancingConfig;
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Timer id for the per-step tick.
 const TIMER_STEP: u32 = 1;
@@ -55,6 +56,19 @@ pub enum GossipMsg {
         /// Sender-local sequence number.
         seq: u32,
     },
+    /// Defense-layer attestation (sent only with
+    /// [`GossipConfig::with_defense`]): the sender's sworn record of the
+    /// height frames it last observed, one `(peer, peer's gossip step,
+    /// FNV-1a digest of the heights vector)` triple per heard neighbor.
+    /// The digest stands in for a signature over the frame: a receiver
+    /// that cached a *different* frame from `peer` for the same step has
+    /// caught `peer` equivocating — honest nodes send one frame per step
+    /// to everyone, so two signed, same-step digests can only differ if
+    /// `peer` forged at least one of them.
+    Attest {
+        /// `(peer, step, heights digest)` per cached neighbor.
+        frames: Vec<(u32, u64, u64)>,
+    },
 }
 
 impl Message for GossipMsg {
@@ -62,8 +76,87 @@ impl Message for GossipMsg {
         match self {
             GossipMsg::Heights { .. } => "heights",
             GossipMsg::Packet { .. } => "packet",
+            GossipMsg::Attest { .. } => "attest",
         }
     }
+}
+
+impl AdversaryTarget for GossipMsg {
+    fn is_control(&self) -> bool {
+        matches!(self, GossipMsg::Heights { .. })
+    }
+
+    fn is_data(&self) -> bool {
+        matches!(self, GossipMsg::Packet { .. })
+    }
+
+    fn data_seq(&self) -> Option<u32> {
+        match self {
+            GossipMsg::Packet { seq, .. } => Some(*seq),
+            _ => None,
+        }
+    }
+
+    fn forged(&self, attack: &Attack, to: u32) -> Option<Self> {
+        let GossipMsg::Heights { step, heights } = self else {
+            return None;
+        };
+        let lie = |h: u32| GossipMsg::Heights {
+            step: *step,
+            heights: vec![h; heights.len()],
+        };
+        match attack {
+            Attack::Deflate { .. } => Some(lie(0)),
+            Attack::Inflate => Some(lie(u32::MAX)),
+            // Equivocation differentiates *unicast* receivers by parity;
+            // broadcasts (`to == u32::MAX`) fall in the odd bucket.
+            Attack::Equivocate => Some(lie(if to.is_multiple_of(2) { 0 } else { u32::MAX })),
+            Attack::Replay | Attack::SelectiveDrop { .. } => None,
+        }
+    }
+
+    fn restamped(&self, frozen: &Self) -> Self {
+        match (self, frozen) {
+            (GossipMsg::Heights { step, .. }, GossipMsg::Heights { heights, .. }) => {
+                GossipMsg::Heights {
+                    step: *step,
+                    heights: heights.clone(),
+                }
+            }
+            _ => self.clone(),
+        }
+    }
+
+    fn consumed(&self, attack: &Attack, from: u32) -> Option<Custody> {
+        if !matches!(self, GossipMsg::Packet { .. }) {
+            return None;
+        }
+        match attack {
+            Attack::Deflate { blackhole: true } => Some(Custody::Stolen),
+            Attack::SelectiveDrop { sources } if sources.contains(&from) => {
+                Some(Custody::Blackholed)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Observed height frames remembered per peer for attestation. Small:
+/// just deep enough to match neighbors' sworn records, which trail our
+/// own first-hand observations by a gossip frame or two.
+const OBSERVED_WINDOW: usize = 4;
+
+/// FNV-1a over a heights vector — the attestation layer's stand-in for
+/// a signature binding `(peer, step)` to the advertised frame.
+fn heights_digest(heights: &[u32]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &v in heights {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+    h
 }
 
 /// Reliability predicate for the balancing protocol: data packets ride
@@ -92,11 +185,84 @@ pub struct GossipConfig {
     /// sublayer ([`crate::reliable`]) with these parameters; heights
     /// gossip stays best-effort either way. `None` = fire-and-forget.
     pub reliability: Option<ReliableConfig>,
+    /// When set, every node runs the Byzantine defense layer
+    /// ([`DefenseConfig`]): height plausibility checks, starvation
+    /// probing, and cross-neighbor attestation feeding a suspicion score
+    /// that quarantines lying peers. `None` (the default) changes
+    /// nothing — honest runs stay byte-identical.
+    pub defense: Option<DefenseConfig>,
+}
+
+/// Knobs of the Byzantine defense layer each node runs locally when
+/// [`GossipConfig::with_defense`] is set. Three detectors feed one
+/// per-peer `suspicion` score:
+///
+/// 1. **Plausibility** — an accepted `Heights` frame is implausible if
+///    any entry exceeds the buffer capacity (honest heights cannot), or
+///    if it differs from the previously cached frame by more than
+///    [`DefenseConfig::max_height_rate`] per elapsed gossip step (a
+///    buffer's drain/fill rate is bounded by the node's degree times the
+///    per-edge capacity, the quantity `γ` prices). Implausible frames
+///    are refused and raise suspicion by 1.
+/// 2. **Starvation probe** — a peer that keeps advertising all-zero
+///    heights *while we keep feeding it packets* is a deflation
+///    attractor: an honest relay's gossip runs before its sends, so fed
+///    packets are visible in its next frame, and only a traffic sink
+///    (a node in the destination list, which absorbs) legitimately
+///    stays at zero. Every [`DefenseConfig::probe_packets`] fed packets
+///    answered by an all-zero frame raise suspicion by 1.
+/// 3. **Attestation** — every [`DefenseConfig::attest_every`] steps each
+///    node swears to its neighbors which `(peer, step, frame digest)` it
+///    last observed ([`GossipMsg::Attest`]) — observed, not trusted, so
+///    a lie refused by plausibility still testifies. A receiver holding
+///    a different digest for the same `(peer, step)` has proof of
+///    equivocation and raises suspicion straight to the quarantine
+///    threshold.
+///
+/// At [`DefenseConfig::quarantine_at`] the peer is quarantined: its
+/// routing edge and cached heights are pruned exactly as churn erodes a
+/// departed neighbor, its future gossip is ignored (its data packets —
+/// innocent bystanders — still deliver), and the topology layer can
+/// re-converge around it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DefenseConfig {
+    /// Maximum plausible per-gossip-step change of one height entry.
+    pub max_height_rate: u32,
+    /// Packets fed to an all-zero-advertising peer before one suspicion
+    /// point accrues.
+    pub probe_packets: u64,
+    /// Suspicion score at which a peer is quarantined.
+    pub quarantine_at: u32,
+    /// Routing steps between attestation rounds.
+    pub attest_every: u64,
+}
+
+impl Default for DefenseConfig {
+    /// Defaults sized for the E22 geometry: a generous height-rate bound
+    /// (node degree bounds the true fill rate), an 8-packet starvation
+    /// probe, quarantine at 3 strikes, attestation every 4 steps.
+    fn default() -> Self {
+        DefenseConfig {
+            max_height_rate: 12,
+            probe_packets: 8,
+            quarantine_at: 3,
+            attest_every: 4,
+        }
+    }
+}
+
+impl DefenseConfig {
+    fn validate(&self) {
+        assert!(self.max_height_rate >= 1, "max_height_rate must be ≥ 1");
+        assert!(self.probe_packets >= 1, "probe_packets must be ≥ 1");
+        assert!(self.quarantine_at >= 1, "quarantine_at must be ≥ 1");
+        assert!(self.attest_every >= 1, "attest_every must be ≥ 1");
+    }
 }
 
 impl GossipConfig {
     /// Sensible defaults: gossip every step, 8-tick steps,
-    /// fire-and-forget links.
+    /// fire-and-forget links, no defense layer.
     pub fn new(balancing: BalancingConfig, steps: u64) -> Self {
         GossipConfig {
             balancing,
@@ -104,6 +270,7 @@ impl GossipConfig {
             steps,
             step_len: 8,
             reliability: None,
+            defense: None,
         }
     }
 
@@ -113,11 +280,20 @@ impl GossipConfig {
         self
     }
 
+    /// Run the Byzantine defense layer on every node.
+    pub fn with_defense(mut self, defense: DefenseConfig) -> Self {
+        self.defense = Some(defense);
+        self
+    }
+
     fn validate(&self) {
         assert!(self.refresh_every >= 1, "refresh_every must be ≥ 1");
         assert!(self.step_len >= 2, "step_len must be ≥ 2");
         if let Some(r) = &self.reliability {
             r.validate();
+        }
+        if let Some(d) = &self.defense {
+            d.validate();
         }
     }
 }
@@ -145,6 +321,20 @@ pub struct GossipNode {
     cfg: GossipConfig,
     step: u64,
     seq: u32,
+    /// Defense: per-peer suspicion score (empty with defense off).
+    suspicion: BTreeMap<u32, u32>,
+    /// Defense: packets fed to a peer since its last non-zero frame.
+    fed: BTreeMap<u32, u64>,
+    /// Defense: recent *observed* frames per peer, `(step, digest)`,
+    /// newest-last and capped at [`OBSERVED_WINDOW`]. Kept separately
+    /// from `cached` because attestation must cover frames plausibility
+    /// refused to trust (an equivocator whose lie to *us* was
+    /// implausible is convicted by what it told the neighbors it was
+    /// attracting), and kept as a short history because a neighbor's
+    /// sworn record lags our own observations by a frame.
+    observed: BTreeMap<u32, Vec<(u64, u64)>>,
+    /// Defense: quarantined peers — routing edge and gossip severed.
+    quarantined: BTreeSet<u32>,
     /// Whether the per-step tick is currently armed. Joiners receive no
     /// `on_start`; their first `on_neighborhood_change` bootstraps the
     /// tick instead, and this flag keeps that idempotent.
@@ -172,6 +362,14 @@ pub struct NodeCounts {
     pub gossips_sent: u64,
     /// Reordered (out-of-date) height gossips discarded on receipt.
     pub stale_gossip_dropped: u64,
+    /// Defense: height frames refused as implausible.
+    pub implausible_gossip: u64,
+    /// Defense: equivocations proven by attestation mismatch.
+    pub equivocations: u64,
+    /// Defense: attestation messages sent.
+    pub attests_sent: u64,
+    /// Defense: peers this node quarantined.
+    pub quarantines: u64,
 }
 
 /// Duplicate suppression for one sender in O(1) space: the highest
@@ -183,7 +381,7 @@ pub struct NodeCounts {
 /// The previous implementation kept every `(sender, seq)` pair ever
 /// accepted in a `HashSet`, which grows without bound in long runs.
 #[derive(Debug, Clone, Copy, Default)]
-struct DedupWindow {
+pub(crate) struct DedupWindow {
     /// Highest accepted seq (meaningful iff `any`).
     hi: u32,
     /// Bit `k` set ⇔ seq `hi − k` was accepted (bit 0 is `hi` itself).
@@ -193,7 +391,7 @@ struct DedupWindow {
 
 impl DedupWindow {
     /// Record `seq`; returns true iff it was not seen before.
-    fn accept(&mut self, seq: u32) -> bool {
+    pub(crate) fn accept(&mut self, seq: u32) -> bool {
         if !self.any {
             (self.any, self.hi, self.mask) = (true, seq, 1);
             return true;
@@ -264,7 +462,8 @@ impl GossipNode {
     }
 
     /// Executed once per routing step: inject scheduled packets, gossip
-    /// heights if due, then decide one send per outgoing edge direction.
+    /// heights if due, attest if due, then decide one send per outgoing
+    /// edge direction.
     fn run_step(&mut self, ctx: &mut Ctx<GossipMsg>) {
         while self.next_inj < self.schedule.len() && self.schedule[self.next_inj].0 == self.step {
             let dest = self.schedule[self.next_inj].1;
@@ -283,6 +482,28 @@ impl GossipNode {
                 self.counts.gossips_sent += 1;
             }
         }
+        if let Some(def) = self.cfg.defense {
+            if self.step.is_multiple_of(def.attest_every) && !self.observed.is_empty() {
+                let frames: Vec<(u32, u64, u64)> = self
+                    .observed
+                    .iter()
+                    .filter_map(|(&peer, hist)| {
+                        hist.iter()
+                            .max_by_key(|&&(step, _)| step)
+                            .map(|&(step, digest)| (peer, step, digest))
+                    })
+                    .collect();
+                for &(w, _) in &self.nbrs {
+                    ctx.send(
+                        w,
+                        GossipMsg::Attest {
+                            frames: frames.clone(),
+                        },
+                    );
+                    self.counts.attests_sent += 1;
+                }
+            }
+        }
         for i in 0..self.nbrs.len() {
             let (w, cost) = self.nbrs[i];
             if let Some(c) = self.best_send(w, cost) {
@@ -290,6 +511,11 @@ impl GossipNode {
                 self.counts.packets_sent += 1;
                 let seq = self.seq;
                 self.seq += 1;
+                // Starvation-probe bookkeeping: count what we feed each
+                // peer (sinks absorb legitimately, so they are exempt).
+                if self.cfg.defense.is_some() && !self.dests.contains(&w) {
+                    *self.fed.entry(w).or_default() += 1;
+                }
                 ctx.send(
                     w,
                     GossipMsg::Packet {
@@ -306,6 +532,76 @@ impl GossipNode {
             self.ticking = false;
         }
     }
+
+    /// Raise `peer`'s suspicion by `weight`; quarantine at the threshold.
+    fn suspect(&mut self, peer: u32, weight: u32) {
+        let Some(def) = self.cfg.defense else { return };
+        let s = self.suspicion.entry(peer).or_default();
+        *s += weight;
+        if *s >= def.quarantine_at {
+            self.quarantine(peer);
+        }
+    }
+
+    /// Sever `peer`: drop the routing edge and cached heights exactly as
+    /// churn erodes a departed neighbor, and ignore its future gossip.
+    /// Its data packets — innocent traffic it merely relayed — still
+    /// deliver, and the dedup window survives so late duplicate copies
+    /// stay refused.
+    fn quarantine(&mut self, peer: u32) {
+        if !self.quarantined.insert(peer) {
+            return;
+        }
+        self.nbrs.retain(|&(w, _)| w != peer);
+        self.cached.remove(&peer);
+        self.suspicion.remove(&peer);
+        self.fed.remove(&peer);
+        self.observed.remove(&peer);
+        self.counts.quarantines += 1;
+    }
+
+    /// Defense checks on a fresh (non-stale) height frame from `from`.
+    /// Returns true when the frame is plausible and may be cached.
+    fn vet_heights(&mut self, from: u32, step: u64, heights: &[u32]) -> bool {
+        let Some(def) = self.cfg.defense else {
+            return true;
+        };
+        // Capacity bound: honest buffers cannot exceed the configured
+        // capacity, so any larger advertisement is a fabrication
+        // (catches inflation on the very first frame).
+        let mut implausible = heights.iter().any(|&h| h > self.cfg.balancing.capacity);
+        // Rate bound: a buffer drains/fills at most `max_height_rate`
+        // per gossip step (degree × per-edge capacity, the γ-priced
+        // quantity), so a jump past that over the elapsed steps is a lie.
+        if !implausible {
+            if let Some((old_step, old)) = self.cached.get(&from) {
+                let allowed =
+                    u64::from(def.max_height_rate) * step.saturating_sub(*old_step).max(1);
+                implausible = heights
+                    .iter()
+                    .zip(old)
+                    .any(|(&h, &o)| u64::from(h.abs_diff(o)) > allowed);
+            }
+        }
+        if implausible {
+            self.counts.implausible_gossip += 1;
+            self.suspect(from, 1);
+            return false;
+        }
+        // Starvation probe: an honest relay gossips *before* it sends,
+        // so packets we fed it show in its next frame — all-zero answers
+        // under sustained feeding are the deflation-attractor signature.
+        if heights.iter().any(|&h| h > 0) {
+            self.fed.insert(from, 0);
+        } else if !self.dests.contains(&from) {
+            let fed = self.fed.get(&from).copied().unwrap_or(0);
+            if fed >= def.probe_packets {
+                self.fed.insert(from, 0);
+                self.suspect(from, 1);
+            }
+        }
+        true
+    }
 }
 
 impl Actor for GossipNode {
@@ -321,6 +617,10 @@ impl Actor for GossipNode {
     fn on_message(&mut self, _ctx: &mut Ctx<GossipMsg>, from: u32, msg: GossipMsg) {
         match msg {
             GossipMsg::Heights { step, heights } => {
+                // A quarantined peer's word is worthless: ignore it.
+                if self.quarantined.contains(&from) {
+                    return;
+                }
                 // Reordered deliveries (any positive-width delay
                 // distribution) must never roll the cache back: keep the
                 // entry with the newest sender step.
@@ -329,8 +629,57 @@ impl Actor for GossipNode {
                         self.counts.stale_gossip_dropped += 1;
                     }
                     _ => {
-                        self.cached.insert(from, (step, heights));
+                        // Record what the peer *said* regardless of
+                        // whether we trust it: attestation compares
+                        // observations, so a frame refused as
+                        // implausible still convicts an equivocator.
+                        if self.cfg.defense.is_some() {
+                            let hist = self.observed.entry(from).or_default();
+                            if !hist.iter().any(|&(s, _)| s == step) {
+                                hist.push((step, heights_digest(&heights)));
+                                if hist.len() > OBSERVED_WINDOW {
+                                    hist.remove(0);
+                                }
+                            }
+                        }
+                        if self.vet_heights(from, step, &heights)
+                            && !self.quarantined.contains(&from)
+                        {
+                            self.cached.insert(from, (step, heights));
+                        }
                     }
+                }
+            }
+            GossipMsg::Attest { frames } => {
+                // Compare a neighbor's sworn record only against frames
+                // *we* accepted first-hand — never third-party claims
+                // against each other, so no attester can frame a peer
+                // alone. Matching `(peer, step)` with differing digests
+                // is proof of equivocation: quarantine immediately.
+                if self.cfg.defense.is_none() || self.quarantined.contains(&from) {
+                    return;
+                }
+                let mut caught: Vec<u32> = Vec::new();
+                for (peer, step, digest) in frames {
+                    if self.quarantined.contains(&peer) {
+                        continue;
+                    }
+                    if let Some(hist) = self.observed.get(&peer) {
+                        if let Some(&(_, my_digest)) = hist.iter().find(|&&(s, _)| s == step) {
+                            if my_digest != digest {
+                                caught.push(peer);
+                            }
+                        }
+                    }
+                }
+                for peer in caught {
+                    self.counts.equivocations += 1;
+                    let threshold = self
+                        .cfg
+                        .defense
+                        .expect("defense checked above")
+                        .quarantine_at;
+                    self.suspect(peer, threshold);
                 }
             }
             GossipMsg::Packet { dest, seq } => {
@@ -420,6 +769,24 @@ pub struct GossipRun {
     /// Reordered height gossips discarded instead of overwriting fresher
     /// cached values.
     pub stale_gossip_dropped: u64,
+    /// Packets eaten by deflating blackholes that attracted them
+    /// (0 without an adversary).
+    pub stolen: u64,
+    /// Packets eaten by selective forwarders they merely passed
+    /// (0 without an adversary).
+    pub blackholed: u64,
+    /// Defense: height frames refused as implausible.
+    pub implausible_gossip: u64,
+    /// Defense: equivocations proven by attestation mismatch.
+    pub equivocations: u64,
+    /// Defense: attestation messages sent.
+    pub attests_sent: u64,
+    /// Defense: quarantine events (each node quarantining a peer counts
+    /// once).
+    pub quarantines: u64,
+    /// Defense: the distinct peers quarantined by at least one node,
+    /// sorted — the set the topology layer re-converges around.
+    pub quarantined_nodes: Vec<u32>,
     /// Runtime counters (transport-layer retransmits/acks/rto_fired are
     /// folded in for reliable runs).
     pub stats: NetStats,
@@ -429,8 +796,9 @@ pub struct GossipRun {
 
 impl GossipRun {
     /// The ledger identity every run must satisfy, extended for
-    /// retransmissions: packets in reliable-transport custody are still
-    /// in the network, not lost.
+    /// retransmissions and theft: packets in reliable-transport custody
+    /// are still in the network, and packets an adversary ate are
+    /// accounted, not vanished.
     pub fn conserved(&self) -> bool {
         self.injected
             == self.absorbed
@@ -438,6 +806,8 @@ impl GossipRun {
                 + self.overflow_dropped
                 + self.link_lost
                 + self.in_flight
+                + self.stolen
+                + self.blackholed
     }
 
     /// Delivered fraction of admitted packets.
@@ -507,6 +877,10 @@ fn build_nodes(
             cfg,
             step: 0,
             seq: 0,
+            suspicion: BTreeMap::new(),
+            fed: BTreeMap::new(),
+            observed: BTreeMap::new(),
+            quarantined: BTreeSet::new(),
             ticking: false,
             counts: NodeCounts::default(),
         })
@@ -515,13 +889,16 @@ fn build_nodes(
 
 /// Tally node ledgers into a [`GossipRun`]. `custody` is the number of
 /// packets still held by reliable transports at quiescence, `gave_up`
-/// their give-up count (both 0 for fire-and-forget).
+/// their give-up count, `stolen`/`blackholed` the adversary-eaten packet
+/// counts (all 0 for honest fire-and-forget runs).
 fn finalize<'a>(
     nodes: impl Iterator<Item = &'a GossipNode>,
     stats: NetStats,
     digest: u64,
     custody: u64,
     gave_up: u64,
+    stolen: u64,
+    blackholed: u64,
 ) -> GossipRun {
     let mut run = GossipRun {
         injected: 0,
@@ -535,6 +912,13 @@ fn finalize<'a>(
         packets_sent: 0,
         gossips_sent: 0,
         stale_gossip_dropped: 0,
+        stolen,
+        blackholed,
+        implausible_gossip: 0,
+        equivocations: 0,
+        attests_sent: 0,
+        quarantines: 0,
+        quarantined_nodes: Vec::new(),
         stats,
         digest,
     };
@@ -548,14 +932,22 @@ fn finalize<'a>(
         run.packets_sent += c.packets_sent;
         run.gossips_sent += c.gossips_sent;
         run.stale_gossip_dropped += c.stale_gossip_dropped;
+        run.implausible_gossip += c.implausible_gossip;
+        run.equivocations += c.equivocations;
+        run.attests_sent += c.attests_sent;
+        run.quarantines += c.quarantines;
+        run.quarantined_nodes.extend(node.quarantined.iter());
         received += c.packets_received;
         run.buffered += node.heights.iter().map(|&h| h as u64).sum::<u64>();
     }
+    run.quarantined_nodes.sort_unstable();
+    run.quarantined_nodes.dedup();
     // The queue is drained, so every hop-level send was received exactly
-    // once, is still in transport custody, or is gone for good. Custody
-    // is clamped to the outstanding count because a delivered packet
-    // whose acks all died can be both received and (briefly) in custody.
-    let outstanding = run.packets_sent - received;
+    // once, eaten by an adversary, is still in transport custody, or is
+    // gone for good. Custody is clamped to the honest outstanding count
+    // because a delivered packet whose acks all died can be both
+    // received and (briefly) in custody.
+    let outstanding = run.packets_sent - received - stolen - blackholed;
     run.in_flight = custody.min(outstanding);
     run.link_lost = outstanding - run.in_flight;
     run
@@ -657,6 +1049,8 @@ pub fn run_gossip_balancing_churn(
                 rt.transcript().digest(),
                 0,
                 0,
+                0,
+                0,
             )
         }
         Some(rc) => {
@@ -694,6 +1088,117 @@ pub fn run_gossip_balancing_churn(
                 rt.transcript().digest(),
                 custody,
                 gave_up,
+                0,
+                0,
+            )
+        }
+    }
+}
+
+/// [`run_gossip_balancing_churn`] under an [`AdversaryPlan`]: the chosen
+/// nodes' wire traffic is corrupted by their scheduled [`Attack`]s
+/// through the [`AdversarialActor`] interposer, while every node
+/// (compromised ones included — the adversary owns radios, not code)
+/// runs the honest protocol, plus the defense layer when
+/// [`GossipConfig::with_defense`] is set. Packets the adversary eats are
+/// booked as `stolen`/`blackholed`, keeping the conservation ledger
+/// exact. In reliable mode the interposer sits *inside* the transport —
+/// a smart attacker acks what it steals, so reliability cannot recover
+/// eaten packets. With an empty plan the wrapper is a true no-op:
+/// byte-identical to [`run_gossip_balancing_churn`]. Bit-identical at
+/// every thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn run_gossip_balancing_adversarial(
+    topology: &SpatialGraph,
+    dests: &[u32],
+    cfg: GossipConfig,
+    workload: &[(u64, u32, u32)],
+    faults: FaultConfig,
+    seed: u64,
+    plan: &ChurnPlan,
+    adversary: &AdversaryPlan,
+    threads: usize,
+) -> GossipRun {
+    cfg.validate();
+    faults.validate();
+    assert!(!dests.is_empty(), "need at least one destination");
+    adversary.validate(topology.len());
+    let nodes = build_nodes(topology, dests, cfg, workload);
+    let dedup = cfg.reliability.is_none();
+    let wrapped: Vec<AdversarialActor<GossipNode>> = nodes
+        .into_iter()
+        .map(|node| {
+            let attacks = adversary.for_node(node.id);
+            AdversarialActor::new(node, attacks, dedup)
+        })
+        .collect();
+    let range = topology.max_range.max(1e-9);
+
+    match cfg.reliability {
+        None => {
+            let mut rt = Runtime::new(wrapped, &topology.points, range, faults, seed);
+            if !plan.is_empty() {
+                rt.set_churn_plan(plan);
+            }
+            rt.start();
+            if threads > 1 {
+                rt.run_sharded(threads);
+            } else {
+                rt.run();
+            }
+            let (stolen, blackholed) = rt
+                .nodes()
+                .iter()
+                .fold((0, 0), |(s, b), a| (s + a.stolen(), b + a.blackholed()));
+            finalize(
+                rt.nodes().iter().map(|a| a.inner()),
+                rt.stats().clone(),
+                rt.transcript().digest(),
+                0,
+                0,
+                stolen,
+                blackholed,
+            )
+        }
+        Some(rc) => {
+            type Wrapped = ReliableActor<AdversarialActor<GossipNode>, fn(&GossipMsg) -> bool>;
+            let reliable: Vec<Wrapped> = wrapped
+                .into_iter()
+                .map(|actor| {
+                    ReliableActor::new(actor, rc, needs_reliability as fn(&GossipMsg) -> bool)
+                })
+                .collect();
+            let mut rt = Runtime::new(reliable, &topology.points, range, faults, seed);
+            if !plan.is_empty() {
+                rt.set_churn_plan(plan);
+            }
+            rt.start();
+            if threads > 1 {
+                rt.run_sharded(threads);
+            } else {
+                rt.run();
+            }
+            let mut stats = rt.stats().clone();
+            let (mut custody, mut gave_up) = (0u64, 0u64);
+            let (mut stolen, mut blackholed) = (0u64, 0u64);
+            for actor in rt.nodes() {
+                let c = actor.counters();
+                stats.retransmits += c.retransmits;
+                stats.acks += c.acks_sent;
+                stats.rto_fired += c.rto_fired;
+                gave_up += c.gave_up;
+                custody += actor.pending_count();
+                stolen += actor.inner().stolen();
+                blackholed += actor.inner().blackholed();
+            }
+            finalize(
+                rt.nodes().iter().map(|a| a.inner().inner()),
+                stats,
+                rt.transcript().digest(),
+                custody,
+                gave_up,
+                stolen,
+                blackholed,
             )
         }
     }
@@ -1087,5 +1592,290 @@ mod tests {
         assert!(run.conserved(), "{run:?}");
         // Packets injected at the destination itself still absorb.
         assert_eq!(run.absorbed + run.buffered + run.link_lost, run.injected);
+    }
+
+    // ------------------- Byzantine adversary & defense -------------------
+
+    /// Two node-disjoint 0→5 relay paths (0-1-2-5 and 0-3-4-5): an
+    /// adversary on one path leaves the other intact, so quarantining it
+    /// lets routing recover.
+    fn diamond() -> SpatialGraph {
+        let points = vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.1, 0.05),
+            Point::new(0.2, 0.05),
+            Point::new(0.1, -0.05),
+            Point::new(0.2, -0.05),
+            Point::new(0.3, 0.0),
+        ];
+        let mut b = GraphBuilder::new(6);
+        for (u, v) in [(0, 1), (1, 2), (2, 5), (0, 3), (3, 4), (4, 5)] {
+            b.add_edge(u, v, 0.12);
+        }
+        SpatialGraph::new(points, b.build(), 0.15)
+    }
+
+    /// A triangle around node 0 (edges 0-1, 0-2, 1-2) plus a tail:
+    /// attestation needs witnesses that share both the adversary and an
+    /// edge with each other — a chain has no such pair.
+    fn triangle_tail() -> SpatialGraph {
+        let points = vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.1, 0.05),
+            Point::new(0.1, -0.05),
+            Point::new(0.2, 0.0),
+        ];
+        let mut b = GraphBuilder::new(4);
+        for (u, v) in [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)] {
+            b.add_edge(u, v, 0.12);
+        }
+        SpatialGraph::new(points, b.build(), 0.15)
+    }
+
+    /// `per_step` packets injected at `src` for `dest`, every step.
+    fn source_workload(steps: u64, per_step: u32, src: u32, dest: u32) -> Vec<(u64, u32, u32)> {
+        (0..steps)
+            .flat_map(|s| (0..per_step).map(move |_| (s, src, dest)))
+            .collect()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn adversarial(
+        topo: &SpatialGraph,
+        dests: &[u32],
+        c: GossipConfig,
+        wl: &[(u64, u32, u32)],
+        faults: FaultConfig,
+        seed: u64,
+        adv: &AdversaryPlan,
+        threads: usize,
+    ) -> GossipRun {
+        run_gossip_balancing_adversarial(
+            topo,
+            dests,
+            c,
+            wl,
+            faults,
+            seed,
+            &crate::ChurnPlan::default(),
+            adv,
+            threads,
+        )
+    }
+
+    /// Satellite: an empty adversary plan is a true pass-through — the
+    /// whole run record matches the plain runner byte for byte, in both
+    /// fire-and-forget and reliable modes.
+    #[test]
+    fn empty_adversary_plan_is_byte_identical_to_the_plain_runner() {
+        let topo = chain(5);
+        let wl = uniform_workload(5, &[4], 100, 1, 2);
+        let faults = FaultConfig::lossy(0.1);
+        for c in [
+            cfg(100),
+            cfg(100).with_reliability(ReliableConfig::default()),
+        ] {
+            let plain = run_gossip_balancing_churn(
+                &topo,
+                &[4],
+                c,
+                &wl,
+                faults,
+                4,
+                &crate::ChurnPlan::default(),
+                1,
+            );
+            let adv = adversarial(&topo, &[4], c, &wl, faults, 4, &AdversaryPlan::default(), 1);
+            assert_eq!(plain, adv);
+        }
+    }
+
+    #[test]
+    fn deflating_blackhole_steals_traffic_and_the_ledger_balances() {
+        let topo = diamond();
+        let wl = source_workload(300, 2, 0, 5);
+        let adv = AdversaryPlan::default().deflate(5, 1, true);
+        let run = adversarial(&topo, &[5], cfg(300), &wl, FaultConfig::ideal(), 8, &adv, 1);
+        assert!(run.conserved(), "{run:?}");
+        assert!(
+            run.stolen > 50,
+            "a zero-advertising blackhole should attract and eat traffic (stole {})",
+            run.stolen
+        );
+        assert_eq!(run.quarantines, 0, "no defense layer configured");
+    }
+
+    #[test]
+    fn defense_quarantines_the_blackhole_and_reroutes() {
+        let topo = diamond();
+        let wl = source_workload(300, 2, 0, 5);
+        let adv = AdversaryPlan::default().deflate(5, 1, true);
+        let go = |defense: Option<DefenseConfig>| {
+            let mut c = cfg(400);
+            if let Some(d) = defense {
+                c = c.with_defense(d);
+            }
+            adversarial(&topo, &[5], c, &wl, FaultConfig::ideal(), 8, &adv, 1)
+        };
+        let off = go(None);
+        let on = go(Some(DefenseConfig {
+            probe_packets: 4,
+            ..DefenseConfig::default()
+        }));
+        assert!(off.conserved(), "{off:?}");
+        assert!(on.conserved(), "{on:?}");
+        assert!(on.quarantines > 0, "{on:?}");
+        assert!(
+            on.quarantined_nodes.contains(&1),
+            "expected the deflator in {:?}",
+            on.quarantined_nodes
+        );
+        assert!(
+            on.absorbed > off.absorbed,
+            "defense must recover delivery: {} on vs {} off",
+            on.absorbed,
+            off.absorbed
+        );
+        assert!(on.stolen < off.stolen, "{} vs {}", on.stolen, off.stolen);
+    }
+
+    #[test]
+    fn inflated_heights_are_implausible_and_quarantined() {
+        let topo = diamond();
+        let wl = source_workload(200, 2, 0, 5);
+        let adv = AdversaryPlan::default().inflate(5, 3);
+        let c = cfg(260).with_defense(DefenseConfig::default());
+        let run = adversarial(&topo, &[5], c, &wl, FaultConfig::ideal(), 9, &adv, 1);
+        assert!(run.conserved(), "{run:?}");
+        assert!(run.implausible_gossip > 0, "{run:?}");
+        assert!(
+            run.quarantined_nodes.contains(&3),
+            "expected the inflator in {:?}",
+            run.quarantined_nodes
+        );
+    }
+
+    /// The equivocator tells even-numbered neighbors "empty" and
+    /// odd-numbered ones "full"; no data traffic is needed — the sworn
+    /// digest exchange between its mutually adjacent witnesses convicts
+    /// it on height frames alone. A high strike threshold keeps the
+    /// plausibility detector slow, so the conviction demonstrably comes
+    /// from attestation: the witness fed only plausible zeros could
+    /// never condemn the liar on first-hand evidence.
+    #[test]
+    fn equivocation_is_caught_by_attestation_between_witnesses() {
+        let topo = triangle_tail();
+        let adv = AdversaryPlan::default().equivocate(5, 0);
+        let c = cfg(60).with_defense(DefenseConfig {
+            quarantine_at: 1000,
+            ..DefenseConfig::default()
+        });
+        let run = adversarial(&topo, &[3], c, &[], FaultConfig::ideal(), 10, &adv, 1);
+        assert!(run.equivocations > 0, "{run:?}");
+        assert!(
+            run.quarantined_nodes.contains(&0),
+            "expected the equivocator in {:?}",
+            run.quarantined_nodes
+        );
+        assert_eq!(
+            run.quarantines, 2,
+            "both mutually adjacent witnesses must convict ({run:?})"
+        );
+    }
+
+    #[test]
+    fn selective_dropper_blackholes_only_targeted_sources() {
+        let topo = chain(4);
+        // Node 1 drops what node 0 sends it but forwards everything else.
+        let wl = source_workload(200, 1, 0, 3);
+        let adv = AdversaryPlan::default().selective_drop(5, 1, vec![0]);
+        let run = adversarial(
+            &topo,
+            &[3],
+            cfg(260),
+            &wl,
+            FaultConfig::ideal(),
+            11,
+            &adv,
+            1,
+        );
+        assert!(run.conserved(), "{run:?}");
+        assert!(run.blackholed > 100, "{run:?}");
+        assert_eq!(run.stolen, 0, "selective drop books as blackholed");
+        assert_eq!(run.absorbed, 0, "node 0's only route runs through 1");
+    }
+
+    /// Stale replay freezes the adversary's advertised frame at
+    /// activation time; the run must still balance its ledger and the
+    /// lie, being self-consistent, must defeat attestation (it is
+    /// detectable only once the frozen frame turns implausible).
+    #[test]
+    fn stale_replay_conserves_and_evades_attestation() {
+        let topo = diamond();
+        let wl = source_workload(200, 2, 0, 5);
+        let adv = AdversaryPlan::default().replay(20, 1);
+        let c = cfg(260).with_defense(DefenseConfig::default());
+        let run = adversarial(&topo, &[5], c, &wl, FaultConfig::ideal(), 12, &adv, 1);
+        assert!(run.conserved(), "{run:?}");
+        assert_eq!(run.equivocations, 0, "a frozen frame is consistent");
+    }
+
+    #[test]
+    fn adversarial_runs_conserve_under_loss_and_duplication() {
+        let topo = diamond();
+        let wl = source_workload(300, 2, 0, 5);
+        let adv = AdversaryPlan::default()
+            .deflate(5, 1, true)
+            .selective_drop(9, 4, vec![3]);
+        let faults = FaultConfig {
+            drop_prob: 0.15,
+            duplicate_prob: 0.25,
+            delay: DelayDist::Uniform { min: 1, max: 4 },
+        };
+        let run = adversarial(&topo, &[5], cfg(400), &wl, faults, 13, &adv, 1);
+        assert!(run.conserved(), "{run:?}");
+        assert!(run.stolen > 0 && run.blackholed > 0, "{run:?}");
+        assert!(run.stats.duplicated > 0, "run wasn't duplicate-heavy");
+    }
+
+    #[test]
+    fn reliable_mode_cannot_recover_stolen_packets() {
+        let topo = diamond();
+        let wl = source_workload(200, 2, 0, 5);
+        let adv = AdversaryPlan::default().deflate(5, 1, true);
+        let c = cfg(300).with_reliability(ReliableConfig::default());
+        let run = adversarial(&topo, &[5], c, &wl, FaultConfig::lossy(0.1), 14, &adv, 1);
+        assert!(run.conserved(), "{run:?}");
+        assert!(
+            run.stolen > 0,
+            "the interposer sits inside the transport: acked then eaten ({run:?})"
+        );
+    }
+
+    #[test]
+    fn adversarial_digest_identical_across_thread_counts() {
+        let topo = diamond();
+        let wl = source_workload(150, 2, 0, 5);
+        let adv = AdversaryPlan::default()
+            .deflate(5, 1, true)
+            .inflate(7, 4)
+            .equivocate(11, 2);
+        let c = cfg(200).with_defense(DefenseConfig::default());
+        let go = |threads| {
+            adversarial(
+                &topo,
+                &[5],
+                c,
+                &wl,
+                FaultConfig::lossy(0.05),
+                15,
+                &adv,
+                threads,
+            )
+        };
+        let one = go(1);
+        for threads in [2, 4] {
+            assert_eq!(one, go(threads), "thread count {threads} diverged");
+        }
     }
 }

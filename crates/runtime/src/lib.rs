@@ -37,8 +37,21 @@
 //! [`GossipConfig::with_reliability`](gossip::GossipConfig::with_reliability)
 //! while heights gossip stays best-effort.
 //!
-//! Experiment **E20** (`adhoc-sim`) sweeps loss rates over both protocols;
-//! `examples/faulty_network.rs` is a minimal end-to-end tour.
+//! Faults can also *lie*: [`adversary`] compromises a seeded subset of
+//! nodes with a schedulable [`AdversaryPlan`] — height deflation and
+//! inflation, stale-frame replay, selective packet drop, equivocation —
+//! wrapping each node's radio in an [`AdversarialActor`] interposer
+//! while the node itself keeps running the honest code. The gossip
+//! balancer's defense layer
+//! ([`GossipConfig::with_defense`](gossip::GossipConfig::with_defense))
+//! answers with local plausibility checks, starvation probes, and
+//! cross-neighbor attestation that quarantine lying peers, and the
+//! conservation ledger gains `stolen`/`blackholed` custody classes so
+//! it balances exactly even while packets are being eaten.
+//!
+//! Experiment **E20** (`adhoc-sim`) sweeps loss rates over both
+//! protocols, **E21** adds churn and mobility, **E22** the Byzantine
+//! sweep; `examples/faulty_network.rs` is a minimal end-to-end tour.
 //!
 //! ```
 //! use adhoc_geom::{Point, SectorPartition};
@@ -56,6 +69,7 @@
 //! assert!(run.stats.sent > 0);
 //! ```
 
+pub mod adversary;
 pub mod churn;
 pub mod event;
 pub mod fault;
@@ -67,12 +81,16 @@ pub mod shard;
 pub mod stats;
 pub mod theta;
 
+pub use adversary::{
+    AdversarialActor, AdversaryEntry, AdversaryPlan, AdversaryTarget, Attack, Custody,
+};
 pub use churn::{ChurnEntry, ChurnKind, ChurnPlan, MemberState};
-pub use event::{Event, EventKey, EventKind, EventQueue};
+pub use event::{Event, EventKey, EventKind, EventQueue, Payload};
 pub use fault::{DelayDist, FaultConfig, TransmitOutcome};
 pub use gossip::{
-    run_gossip_balancing, run_gossip_balancing_churn, run_gossip_balancing_sharded,
-    uniform_workload, GossipConfig, GossipMsg, GossipNode, GossipRun,
+    run_gossip_balancing, run_gossip_balancing_adversarial, run_gossip_balancing_churn,
+    run_gossip_balancing_sharded, uniform_workload, DefenseConfig, GossipConfig, GossipMsg,
+    GossipNode, GossipRun,
 };
 pub use node::{Actor, Ctx, Message};
 pub use reliable::{

@@ -21,7 +21,7 @@
 //!    each lookahead-window boundary ([`crate::stats::WindowNotes`]).
 
 use crate::churn::{plan_churn, rebuild_neighbors, ChurnDelta, ChurnKind, ChurnSchedule};
-use crate::event::{EventKey, EventKind, EventQueue};
+use crate::event::{EventKey, EventKind, EventQueue, Payload};
 use crate::fault::{FaultConfig, TransmitOutcome};
 use crate::node::{Actor, Ctx, Message};
 use crate::stats::{NetStats, Transcript, WindowNotes};
@@ -346,14 +346,14 @@ impl<A: Actor> Runtime<A> {
                 EventKind::Deliver { msg } => {
                     let from = ev.key.src;
                     self.stats.delivered += 1;
-                    self.stats.kind(msg.kind()).delivered += 1;
+                    self.stats.kind(msg.get().kind()).delivered += 1;
                     self.notes.note(
                         node,
                         format_args!("D t={} {}->{} {:?}", self.now, from, node, msg),
                     );
                     let mut ctx = std::mem::take(&mut self.scratch);
                     ctx.reset(node, self.now);
-                    self.nodes[node as usize].on_message(&mut ctx, from, msg);
+                    self.nodes[node as usize].on_message(&mut ctx, from, msg.into_msg());
                     self.flush(&mut ctx);
                     self.scratch = ctx;
                 }
@@ -496,12 +496,14 @@ impl<A: Actor> Runtime<A> {
         }
         for msg in ctx.broadcasts.drain(..) {
             self.stats.broadcasts += 1;
-            // Clone per receiver; fan-out order is the sorted neighbor list.
-            // Targets come straight from that list, so the per-unicast
-            // locality check in `transmit` is skipped here.
+            // One shared payload for the whole fan-out; fan-out order is
+            // the sorted neighbor list. Targets come straight from that
+            // list, so the per-unicast locality check in `transmit` is
+            // skipped here.
+            let shared = std::sync::Arc::new(msg);
             let nbrs = std::mem::take(&mut self.neighbors[node as usize]);
             for &to in &nbrs {
-                self.transmit_link(node, to, msg.clone());
+                self.transmit_link(node, to, Payload::Shared(shared.clone()));
             }
             self.neighbors[node as usize] = nbrs;
         }
@@ -534,14 +536,14 @@ impl<A: Actor> Runtime<A> {
             );
             return;
         }
-        self.transmit_link(from, to, msg);
+        self.transmit_link(from, to, Payload::Own(msg));
     }
 
     /// Push one copy across a radio link, applying the fault model on the
     /// link's private RNG stream.
-    fn transmit_link(&mut self, from: u32, to: u32, msg: A::Msg) {
+    fn transmit_link(&mut self, from: u32, to: u32, msg: Payload<A::Msg>) {
         self.stats.sent += 1;
-        self.stats.kind(msg.kind()).sent += 1;
+        self.stats.kind(msg.get().kind()).sent += 1;
         let seed = self.seed;
         let link = self
             .links
@@ -550,7 +552,7 @@ impl<A: Actor> Runtime<A> {
         match self.faults.transmit(&mut link.rng) {
             TransmitOutcome::Dropped => {
                 self.stats.dropped += 1;
-                self.stats.kind(msg.kind()).dropped += 1;
+                self.stats.kind(msg.get().kind()).dropped += 1;
                 self.notes.note(
                     from,
                     format_args!("X t={} {}->{} {:?}", self.now, from, to, msg),

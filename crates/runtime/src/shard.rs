@@ -31,7 +31,7 @@
 //! bit-identical transcripts, stats, and actor states.
 
 use crate::churn::{ChurnDelta, ChurnKind};
-use crate::event::{Event, EventKind, EventQueue};
+use crate::event::{Event, EventKind, EventQueue, Payload};
 use crate::fault::{FaultConfig, TransmitOutcome};
 use crate::node::{Actor, Ctx, Message};
 use crate::runtime::{link_key, shard_threads_from_env, LinkState, Runtime};
@@ -124,7 +124,7 @@ impl<A: Actor> Shard<A> {
                 EventKind::Deliver { msg } => {
                     let from = ev.key.src;
                     self.stats.delivered += 1;
-                    self.stats.kind(msg.kind()).delivered += 1;
+                    self.stats.kind(msg.get().kind()).delivered += 1;
                     self.notes.note(
                         node,
                         format_args!("D t={} {}->{} {:?}", now, from, node, msg),
@@ -134,7 +134,7 @@ impl<A: Actor> Shard<A> {
                     self.nodes
                         .get_mut(&node)
                         .expect("event routed to wrong shard")
-                        .on_message(&mut ctx, from, msg);
+                        .on_message(&mut ctx, from, msg.into_msg());
                     self.flush(&mut ctx, shard_of, total_nodes);
                     self.scratch = ctx;
                 }
@@ -170,13 +170,15 @@ impl<A: Actor> Shard<A> {
                     .note(node, format_args!("L t={} {}->{} {:?}", now, node, to, msg));
                 continue;
             }
-            self.transmit_link(now, node, to, msg, shard_of);
+            self.transmit_link(now, node, to, Payload::Own(msg), shard_of);
         }
         for msg in ctx.broadcasts.drain(..) {
             self.stats.broadcasts += 1;
+            // One shared payload per broadcast — mirrors `Runtime::flush`.
+            let shared = std::sync::Arc::new(msg);
             let nbrs = std::mem::take(&mut self.neighbors[node as usize]);
             for &to in &nbrs {
-                self.transmit_link(now, node, to, msg.clone(), shard_of);
+                self.transmit_link(now, node, to, Payload::Shared(shared.clone()), shard_of);
             }
             self.neighbors[node as usize] = nbrs;
         }
@@ -192,9 +194,16 @@ impl<A: Actor> Shard<A> {
         }
     }
 
-    fn transmit_link(&mut self, now: u64, from: u32, to: u32, msg: A::Msg, shard_of: &[u32]) {
+    fn transmit_link(
+        &mut self,
+        now: u64,
+        from: u32,
+        to: u32,
+        msg: Payload<A::Msg>,
+        shard_of: &[u32],
+    ) {
         self.stats.sent += 1;
-        self.stats.kind(msg.kind()).sent += 1;
+        self.stats.kind(msg.get().kind()).sent += 1;
         let seed = self.seed;
         let link = self
             .links
@@ -203,7 +212,7 @@ impl<A: Actor> Shard<A> {
         match self.faults.transmit(&mut link.rng) {
             TransmitOutcome::Dropped => {
                 self.stats.dropped += 1;
-                self.stats.kind(msg.kind()).dropped += 1;
+                self.stats.kind(msg.get().kind()).dropped += 1;
                 self.notes
                     .note(from, format_args!("X t={} {}->{} {:?}", now, from, to, msg));
             }
@@ -389,7 +398,7 @@ fn worker_loop<A: Actor>(
 impl<A: Actor> Runtime<A>
 where
     A: Send,
-    A::Msg: Send,
+    A::Msg: Send + Sync,
 {
     /// Run to quiescence on up to `threads` worker threads, sharding
     /// nodes by spatial cell. Produces **bit-identical** transcripts,

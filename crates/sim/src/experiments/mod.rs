@@ -1,4 +1,4 @@
-//! Experiment runners E1–E21.
+//! Experiment runners E1–E22.
 //!
 //! The paper is theoretical: its "evaluation" is a set of theorems. Each
 //! experiment here regenerates one claim as a measured table (see
@@ -27,6 +27,7 @@
 //! | E19 | Theorem 2.8 end-to-end — G*-schedule emulation on 𝒩, slowdown vs O(I) |
 //! | E20 | runtime — ΘALG + (T,γ)-balancing over faulty links (loss sweep) |
 //! | E21 | runtime — churn/mobility: ΘALG re-convergence + routing over an eroding topology |
+//! | E22 | runtime — Byzantine balancers: lying height gossip vs quarantine defense |
 
 pub mod e10_geometry;
 pub mod e11_mobility;
@@ -41,6 +42,7 @@ pub mod e19_emulation;
 pub mod e1_degree;
 pub mod e20_runtime_faults;
 pub mod e21_churn;
+pub mod e22_adversary;
 pub mod e2_energy_stretch;
 pub mod e3_distance_stretch;
 pub mod e4_interference;
@@ -78,14 +80,15 @@ pub fn run_by_name(name: &str, quick: bool) -> Option<Table> {
         "e19" => Some(e19_emulation::run(quick)),
         "e20" => Some(e20_runtime_faults::run(quick)),
         "e21" => Some(e21_churn::run(quick)),
+        "e22" => Some(e22_adversary::run(quick)),
         _ => None,
     }
 }
 
 /// All experiment ids in order.
-pub const ALL: [&str; 21] = [
+pub const ALL: [&str; 22] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18", "e19", "e20", "e21",
+    "e16", "e17", "e18", "e19", "e20", "e21", "e22",
 ];
 
 #[cfg(test)]

@@ -2,7 +2,7 @@
 //!
 //! Simulation harness for the SPAA'03 reproduction. This crate turns the
 //! algorithm crates into *experiments*: every theorem/lemma of the paper
-//! maps to one module under [`experiments`] (ids E1–E20, see DESIGN.md),
+//! maps to one module under [`experiments`] (ids E1–E22, see DESIGN.md),
 //! each producing typed table rows that the `report` binary prints in the
 //! style of a paper evaluation section.
 //!
@@ -19,7 +19,7 @@
 //!   throughput/cost ratios versus OPT.
 //! * [`mobility`] — a random-waypoint model for dynamic-topology
 //!   experiments.
-//! * [`experiments`] — E1–E20 runners.
+//! * [`experiments`] — E1–E22 runners.
 
 pub mod config;
 pub mod emulation;

@@ -119,6 +119,42 @@ mod tests {
         }
     }
 
+    /// Round-trip: sample an E11-style random-waypoint trajectory into
+    /// frames, compile it with `ChurnPlan::from_waypoint_trace`, replay
+    /// it through the runtime, and check the runtime's final geometry is
+    /// exactly the trace's last frame.
+    #[test]
+    fn waypoint_trace_round_trips_through_the_runtime() {
+        use adhoc_runtime::{Actor, ChurnPlan, Ctx, FaultConfig, Message, Runtime};
+
+        #[derive(Debug, Clone)]
+        struct Quiet;
+        impl Message for Quiet {}
+        #[derive(Debug, Clone)]
+        struct Silent;
+        impl Actor for Silent {
+            type Msg = Quiet;
+            fn on_message(&mut self, _ctx: &mut Ctx<Quiet>, _from: u32, _msg: Quiet) {}
+        }
+
+        let (mut rw, mut rng) = start(12, 11);
+        let mut frames = vec![rw.positions().to_vec()];
+        for _ in 0..8 {
+            for _ in 0..5 {
+                rw.step(&mut rng);
+            }
+            frames.push(rw.positions().to_vec());
+        }
+        let plan = ChurnPlan::from_waypoint_trace(&frames, 4, 4);
+        assert!(!plan.is_empty(), "a moving trace must schedule drifts");
+
+        let mut rt = Runtime::new(vec![Silent; 12], &frames[0], 0.3, FaultConfig::ideal(), 77);
+        rt.set_churn_plan(&plan);
+        rt.start();
+        rt.run();
+        assert_eq!(rt.positions(), frames.last().unwrap().as_slice());
+    }
+
     #[test]
     #[should_panic]
     fn zero_speed_rejected() {

@@ -29,11 +29,14 @@
 //!   injection: ΘALG and `(T,γ)`-balancing replayed as actor protocols
 //!   over lossy, delaying, duplicating links, with an optional per-link
 //!   reliable-delivery sublayer (sliding window + cumulative ack +
-//!   capped-backoff retransmit) under the balancing packet traffic, and
-//!   a seeded churn/mobility engine (joins, graceful leaves, crashes,
-//!   waypoint drift) under which ΘALG re-converges locally.
+//!   capped-backoff retransmit) under the balancing packet traffic, a
+//!   seeded churn/mobility engine (joins, graceful leaves, crashes,
+//!   waypoint drift) under which ΘALG re-converges locally, and a
+//!   Byzantine adversary subsystem (lying height gossip, blackholes,
+//!   equivocation) countered by a local plausibility/probe/attestation
+//!   defense that quarantines detected liars.
 //! * [`sim`] — OPT-by-construction adversaries, workloads, mobility, and
-//!   the experiment runners E1–E21 (`cargo run -p adhoc-sim --bin
+//!   the experiment runners E1–E22 (`cargo run -p adhoc-sim --bin
 //!   report`).
 //!
 //! ## Quickstart
@@ -94,10 +97,11 @@ pub mod prelude {
         HoneycombRouter, InterferenceRouter, StaleBalancingRouter, TracedRouter,
     };
     pub use adhoc_runtime::{
-        edge_fidelity, run_gossip_balancing, run_gossip_balancing_churn,
-        run_gossip_balancing_sharded, run_theta_churn, run_theta_protocol,
-        run_theta_protocol_sharded, uniform_workload, ChurnPlan, DelayDist, FaultConfig,
-        GossipConfig, MemberState, ReliableConfig, Runtime, ThetaTiming,
+        edge_fidelity, run_gossip_balancing, run_gossip_balancing_adversarial,
+        run_gossip_balancing_churn, run_gossip_balancing_sharded, run_theta_churn,
+        run_theta_protocol, run_theta_protocol_sharded, uniform_workload, AdversaryPlan, Attack,
+        ChurnPlan, DefenseConfig, DelayDist, FaultConfig, GossipConfig, MemberState,
+        ReliableConfig, Runtime, ThetaTiming,
     };
     pub use adhoc_sim::{build_schedule, run_balancing_on_schedule, ScenarioConfig, Workload};
     pub use rand::SeedableRng;

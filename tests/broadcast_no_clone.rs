@@ -1,0 +1,121 @@
+//! Regression: broadcast fan-out must not deep-clone the payload per
+//! neighbor.
+//!
+//! `Runtime::flush` used to clone the broadcast message once for every
+//! radio neighbor before the fault layer even decided the copy's fate —
+//! at n ≥ 10⁴ those clones dominated the E20 profile. The fix wraps the
+//! payload in one `Arc` (`Payload::Shared`) shared by all per-neighbor
+//! copies: dropped copies never clone at all, and only a delivered copy
+//! that still shares the allocation pays for a clone at delivery time.
+//! This test pins the property with a counting global allocator: a hub
+//! broadcasting `B` heap-carrying messages to `N` neighbors over fully
+//! lossy links costs O(B) allocations post-fix, versus ≥ B·N clones
+//! pre-fix.
+
+use adhoc_runtime::{Actor, Ctx, FaultConfig, Message, Runtime};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+// SAFETY: delegates directly to the system allocator; the counter is a
+// relaxed atomic with no other side effects.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+/// A heap-carrying payload: cloning it allocates, so a per-neighbor
+/// deep clone in the fan-out path shows up directly in the counter.
+#[derive(Debug, Clone)]
+struct Blob(#[allow(dead_code)] Vec<u64>);
+
+impl Message for Blob {
+    fn kind(&self) -> &'static str {
+        "blob"
+    }
+}
+
+/// Node 0 broadcasts one `Blob` per tick; everyone else is silent.
+#[derive(Debug, Clone)]
+struct Hub {
+    id: u32,
+    rounds_left: u32,
+}
+
+impl Actor for Hub {
+    type Msg = Blob;
+
+    fn on_start(&mut self, ctx: &mut Ctx<Blob>) {
+        if self.id == 0 {
+            ctx.set_timer(1, 0);
+        }
+    }
+
+    fn on_message(&mut self, _ctx: &mut Ctx<Blob>, _from: u32, _msg: Blob) {}
+
+    fn on_timer(&mut self, ctx: &mut Ctx<Blob>, _timer: u32) {
+        ctx.broadcast(Blob(vec![self.id as u64; 32]));
+        self.rounds_left -= 1;
+        if self.rounds_left > 0 {
+            ctx.set_timer(1, 0);
+        }
+    }
+}
+
+#[test]
+fn broadcast_fanout_does_not_clone_per_neighbor() {
+    const NEIGHBORS: u32 = 50;
+    const ROUNDS: u32 = 500;
+
+    let nodes: Vec<Hub> = (0..=NEIGHBORS)
+        .map(|id| Hub {
+            id,
+            rounds_left: ROUNDS,
+        })
+        .collect();
+    // A tight cluster: every node is within radio range of every other,
+    // so each broadcast fans out to all `NEIGHBORS` links.
+    let positions: Vec<adhoc_geom::Point> = (0..=NEIGHBORS)
+        .map(|i| {
+            let a = f64::from(i) / f64::from(NEIGHBORS + 1) * std::f64::consts::TAU;
+            adhoc_geom::Point::new(0.01 * a.cos(), 0.01 * a.sin())
+        })
+        .collect();
+    // Fully lossy links: every per-neighbor copy is dropped at the fault
+    // layer, which is exactly the case where the old code had already
+    // paid for the clone and the new code pays nothing.
+    let mut rt = Runtime::new(nodes, &positions, 1.0, FaultConfig::lossy(1.0), 11);
+    rt.start();
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    rt.run();
+    let during = ALLOCS.load(Ordering::Relaxed) - before;
+
+    let fanout = u64::from(NEIGHBORS) * u64::from(ROUNDS);
+    assert_eq!(rt.stats().dropped, fanout, "expected full lossy fan-out");
+    // Each round allocates the actor's own `Blob` plus one shared `Arc`;
+    // everything else is amortized. Pre-fix the fan-out added ≥ one
+    // clone (one `Vec` allocation) per neighbor per round — 25 000 here.
+    assert!(
+        during < 5 * u64::from(ROUNDS),
+        "{during} allocations for {ROUNDS} broadcasts × {NEIGHBORS} neighbors — \
+         the fan-out path is deep-cloning again (pre-fix cost ≥ {fanout})"
+    );
+    // Sanity: the transcript still witnessed every drop.
+    assert_ne!(rt.transcript().digest(), 0);
+}

@@ -2,9 +2,11 @@
 //!
 //! Every scenario in the quick E20 sweep (ΘALG protocol and
 //! gossip-balancing in both delivery modes, across the loss-rate grid)
-//! has its replay digest pinned in `tests/fixtures/e20_digests.txt`, and
+//! has its replay digest pinned in `tests/fixtures/e20_digests.txt`,
 //! every E21 churn scenario (3 seeds × {no-churn, leave-heavy,
-//! drift-heavy}) in `tests/fixtures/e21_digests.txt`. The runtime
+//! drift-heavy}) in `tests/fixtures/e21_digests.txt`, and every E22
+//! adversary scenario (2 seeds × {blackhole, inflate, equivocate} ×
+//! defense off/on) in `tests/fixtures/e22_digests.txt`. The runtime
 //! promises bit-for-bit replay from a seed; this suite extends that
 //! promise across *commits*: any change to event ordering, RNG
 //! consumption, fault sampling, churn scheduling, or message contents
@@ -30,6 +32,11 @@ const E20_FIXTURE: &str = concat!(
 const E21_FIXTURE: &str = concat!(
     env!("CARGO_MANIFEST_DIR"),
     "/tests/fixtures/e21_digests.txt"
+);
+
+const E22_FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/e22_digests.txt"
 );
 
 fn render(title: &str, digests: &[(String, u64)]) -> String {
@@ -75,4 +82,13 @@ fn e21_churn_digests_match_golden_fixture() {
         &adhoc_sim::experiments::e21_churn::golden_digests(),
     );
     check(E21_FIXTURE, &actual);
+}
+
+#[test]
+fn e22_adversary_digests_match_golden_fixture() {
+    let actual = render(
+        "E22 adversary-scenario",
+        &adhoc_sim::experiments::e22_adversary::golden_digests(),
+    );
+    check(E22_FIXTURE, &actual);
 }

@@ -180,6 +180,78 @@ proptest! {
         }
     }
 
+    /// Lying nodes are part of the determinism contract too: for a random
+    /// adversary plan (attack shape, compromised count, defense on/off),
+    /// random geometry, and random fault mix, the sequential executor and
+    /// the sharded executor at 2 and 4 threads produce bit-identical run
+    /// records in both delivery modes — and the extended conservation
+    /// ledger balances exactly even while packets are being stolen and
+    /// blackholed.
+    #[test]
+    fn adversarial_execution_is_digest_identical_and_conserved(
+        raw in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 10..30),
+        drop_prob in 0.0f64..0.3,
+        duplicate_prob in 0.0f64..0.2,
+        count in 1usize..5,
+        attack_idx in 0usize..6,
+        defended in any::<bool>(),
+        seed in 0u64..1_000_000
+    ) {
+        let points = dedup_points(&raw);
+        let n = points.len();
+        let graph = unit_disk_graph(&points, default_max_range(n));
+        let faults = FaultConfig {
+            drop_prob,
+            duplicate_prob,
+            delay: DelayDist::Uniform { min: 1, max: 6 },
+        };
+        let attack = match attack_idx {
+            0 => Attack::Deflate { blackhole: false },
+            1 => Attack::Deflate { blackhole: true },
+            2 => Attack::Inflate,
+            3 => Attack::Replay,
+            4 => Attack::SelectiveDrop {
+                sources: (0..n as u32).step_by(2).collect(),
+            },
+            _ => Attack::Equivocate,
+        };
+        let count = count.min(n - 1);
+        let adversary = AdversaryPlan::random(n, count, attack, 30, &[0], seed ^ 0x5a5a);
+
+        let dests = [0u32];
+        let wl = uniform_workload(n, &dests, 40, 1, seed ^ 1);
+        let mut base = GossipConfig::new(
+            BalancingConfig { threshold: 0.5, gamma: 0.1, capacity: 20 },
+            60,
+        );
+        if defended {
+            base = base.with_defense(DefenseConfig::default());
+        }
+        for cfg in [base, base.with_reliability(ReliableConfig::default())] {
+            let gs = run_gossip_balancing_adversarial(
+                &graph, &dests, cfg, &wl, faults, seed, &ChurnPlan::default(), &adversary, 1,
+            );
+            prop_assert!(
+                gs.conserved(),
+                "adversarial ledger out of balance (reliable={}, defended={}): {:?}",
+                cfg.reliability.is_some(),
+                defended,
+                gs
+            );
+            for threads in [2usize, 4] {
+                let gp = run_gossip_balancing_adversarial(
+                    &graph, &dests, cfg, &wl, faults, seed, &ChurnPlan::default(), &adversary,
+                    threads,
+                );
+                prop_assert_eq!(
+                    &gs, &gp,
+                    "adversarial run diverged (reliable={}, defended={}, threads={})",
+                    cfg.reliability.is_some(), defended, threads
+                );
+            }
+        }
+    }
+
     /// Whenever loss stays within the retransmit budget (16 tries per
     /// message at the default timing), the protocol's `𝒩` equals the
     /// direct `ThetaAlg::build` graph *exactly* — the paper's 3-round
